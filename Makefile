@@ -1,0 +1,23 @@
+# Convenience targets for the repro library.
+
+.PHONY: install test bench examples verify all clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; python $$f; done
+
+verify: test bench
+
+all: install verify
+
+clean:
+	rm -rf build dist src/*.egg-info .pytest_benchmark .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+Every benchmark regenerates one table or figure of the paper (or one of
+the ablations DESIGN.md adds). Results are printed and also written to
+``benchmarks/results/<name>.txt`` so they survive pytest's output
+capture; EXPERIMENTS.md quotes those files.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def _record(name: str, text: str) -> None:
+    """Print an experiment's table and persist it under results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w", encoding="utf-8") as fh:
+        fh.write(text + "\n")
+    print()
+    print(text)
+
+
+@pytest.fixture
+def record():
+    """Fixture handing benchmarks the result-recording function."""
+    return _record

@@ -1,0 +1,118 @@
+"""Baseline comparison (paper Section 2): coverage decides the savings.
+
+On a suite of designs we compare the full automated RTL operand
+isolation against the three prior techniques the paper positions itself
+against:
+
+* **Correale (manual mux-select)** — local rule, narrow coverage;
+* **Tiwari (guarded evaluation)** — only works where an *existing*
+  signal implies the activation function;
+* **Kapadia (register-enable gating)** — blind to modules fed by
+  primary inputs or by multi-fanout registers.
+
+Expected shapes: our method is within a few percent of the best
+technique on every design and strictly best where coverage gaps bite
+(FIR: no usable existing signal, PI-fed operands; shared bus: multi-
+fanout registers).
+"""
+
+import pytest
+
+from repro.baselines import (
+    clock_gate_registers,
+    enable_gating,
+    guarded_evaluation,
+    manual_mux_isolation,
+)
+from repro.core import IsolationConfig, isolate_design
+from repro.designs import design1, design2, fir_datapath, shared_bus_datapath
+from repro.power import estimate_power
+from repro.sim import ControlStream, random_stimulus
+
+CYCLES = 1500
+
+CASES = [
+    ("design1", design1, {"EN": ControlStream(0.2, 0.05)}),
+    ("design2", design2, {}),
+    ("fir4", fir_datapath, {"BYP": ControlStream(0.8, 0.05)}),
+    ("shared_bus", shared_bus_datapath, {"G0": ControlStream(0.15, 0.1),
+                                          "G1": ControlStream(0.15, 0.1)}),
+]
+
+
+def run_comparison():
+    rows = []
+    for name, maker, overrides in CASES:
+        design = maker()
+
+        def stimulus(target=design):
+            return random_stimulus(
+                target, seed=17, control_probability=0.3, overrides=overrides or None
+            )
+
+        base = estimate_power(design, stimulus(), CYCLES).total_power_mw
+        # The automated flow may pick either style; the baselines use
+        # latch-style hold elements, so give our row the better of the
+        # gate and latch runs (what a deployment would ship).
+        ours = min(
+            isolate_design(
+                design, lambda: stimulus(), IsolationConfig(style=style, cycles=1000)
+            ).final.power_mw
+            for style in ("and", "latch")
+        )
+
+        variants = {
+            "manual": manual_mux_isolation(design).design,
+            "guarded": guarded_evaluation(design).design,
+            "kapadia": enable_gating(design).design,
+            "clockgate": clock_gate_registers(design).design,
+        }
+        reductions = {"ours": 1 - ours / base}
+        for label, variant in variants.items():
+            power = estimate_power(variant, stimulus(variant), CYCLES).total_power_mw
+            reductions[label] = 1 - power / base
+        rows.append((name, base, reductions))
+    return rows
+
+
+@pytest.mark.benchmark(group="baselines")
+def test_baseline_comparison(benchmark, record):
+    rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+
+    lines = ["Power reduction by technique (positive = saved)"]
+    lines.append(
+        f"{'design':<12} {'base mW':>8} {'ours':>8} {'manual':>8} "
+        f"{'guarded':>8} {'kapadia':>8} {'clkgate':>8}"
+    )
+    table = {}
+    for name, base, red in rows:
+        table[name] = red
+        lines.append(
+            f"{name:<12} {base:>8.3f} {red['ours']:>8.1%} {red['manual']:>8.1%} "
+            f"{red['guarded']:>8.1%} {red['kapadia']:>8.1%} {red['clockgate']:>8.1%}"
+        )
+    record("baseline_comparison", "\n".join(lines))
+
+    for name, red in table.items():
+        # Ours is never significantly beaten by any baseline.
+        best_other = max(red["manual"], red["guarded"], red["kapadia"])
+        assert red["ours"] >= best_other - 0.05, f"{name}: beaten by a baseline"
+        # Clock gating touches only register clock power — a different,
+        # much smaller component on these datapath-dominated blocks.
+        assert red["clockgate"] < red["ours"]
+
+    # FIR: guarded evaluation finds no signal; Kapadia reaches only one
+    # delay register; ours tracks the bypass duty.
+    fir = table["fir4"]
+    assert fir["ours"] > 0.4
+    assert fir["guarded"] < 0.05
+    assert fir["kapadia"] < fir["ours"] - 0.2
+
+    # Shared bus: enable gating structurally blocked by multi-fanout.
+    bus = table["shared_bus"]
+    assert bus["kapadia"] < 0.05
+    assert bus["ours"] > 0.3
+
+    benchmark.extra_info.update(
+        {name: round(red["ours"], 4) for name, red in table.items()}
+    )

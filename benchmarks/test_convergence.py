@@ -1,0 +1,81 @@
+"""Measurement methodology: convergence of the power estimate.
+
+The paper's models consume toggle rates and probabilities "measured
+during a simulation of real-life test vectors"; how long must that
+simulation be? Using the vectorized batch engine (32 independent
+replications) we get honest cross-replication confidence intervals for
+design1's total power and for the key activation probability, as a
+function of simulated cycles.
+
+Asserted shape: the CI half-width shrinks roughly like 1/√cycles, and a
+2000-cycle run (the default used throughout the benchmarks) pins total
+power to within ±2 %.
+"""
+
+import math
+
+import pytest
+
+from repro.designs import design1
+from repro.power.estimator import PowerEstimator
+from repro.sim.batch import (
+    BatchControlStream,
+    BatchProbe,
+    BatchRandomStimulus,
+    BatchSimulator,
+    BatchToggleMonitor,
+)
+from repro.boolean.expr import var
+
+BATCH = 32
+CYCLE_POINTS = (125, 500, 2000)
+
+
+def run_convergence():
+    design = design1(width=12)
+    estimator = PowerEstimator()
+    rows = []
+    for cycles in CYCLE_POINTS:
+        monitor = BatchToggleMonitor()
+        probe = BatchProbe("en", var("EN"))
+        stimulus = BatchRandomStimulus(
+            design,
+            batch_size=BATCH,
+            seed=3,
+            control_probability=0.35,
+            overrides={"EN": BatchControlStream(0.2, 0.05)},
+        )
+        BatchSimulator(design, batch_size=BATCH).run(
+            stimulus, cycles, monitors=[monitor, probe], warmup=16
+        )
+        lane_energy = estimator.batch_total_energy(design, monitor)
+        lane_power = lane_energy * estimator.library.clock_ghz
+        mean = float(lane_power.mean())
+        half = 1.96 * float(lane_power.std(ddof=1)) / math.sqrt(BATCH)
+        p_mean, p_half = probe.probability_ci()
+        rows.append((cycles, mean, half, p_mean, p_half))
+    return rows
+
+
+@pytest.mark.benchmark(group="convergence")
+def test_measurement_convergence(benchmark, record):
+    rows = benchmark.pedantic(run_convergence, rounds=1, iterations=1)
+
+    lines = [
+        f"design1 measurement convergence ({BATCH} replications, 95% CI)",
+        f"{'cycles':>7} {'power[mW]':>10} {'±':>8} {'Pr(EN)':>8} {'±':>8}",
+    ]
+    for cycles, mean, half, p_mean, p_half in rows:
+        lines.append(
+            f"{cycles:>7d} {mean:>10.4f} {half:>8.4f} {p_mean:>8.3f} {p_half:>8.3f}"
+        )
+    record("convergence", "\n".join(lines))
+
+    halves = [half for _c, _m, half, _p, _ph in rows]
+    assert halves[-1] < halves[0], "CI must shrink with cycles"
+    # Rough 1/sqrt scaling: 16x cycles -> ~4x narrower, allow 2x slack.
+    assert halves[-1] < halves[0] / 2
+    final_mean, final_half = rows[-1][1], rows[-1][2]
+    assert final_half / final_mean < 0.02, "2000 cycles must pin power to ±2 %"
+
+    benchmark.extra_info["final_ci_pct"] = round(100 * final_half / final_mean, 3)

@@ -1,0 +1,76 @@
+"""Scalability: the Section 3 complexity claim.
+
+"By using a breadth-first traversal starting at the primary outputs of a
+circuit, we can compute in O(|V|+|E|) time an activation function for
+each arithmetic module."
+
+We grow random layered datapaths by an order of magnitude and measure
+the activation-derivation wall time. The assertion is deliberately loose
+(Python constant factors, expression simplification) but must rule out
+super-quadratic behaviour: time may grow no faster than ~quadratically
+in netlist size over a 16x size range, and the per-cell cost must stay
+within a small constant factor of the smallest design's.
+"""
+
+import time
+
+import pytest
+
+from repro.core import derive_activation_functions
+from repro.designs import random_datapath
+
+SIZES = [(2, 3), (4, 6), (8, 12), (16, 24)]  # (layers, modules per layer)
+
+
+def build_suite():
+    designs = []
+    for layers, per_layer in SIZES:
+        designs.append(
+            random_datapath(
+                seed=1234,
+                layers=layers,
+                modules_per_layer=per_layer,
+                n_data_inputs=4,
+                n_controls=6,
+            )
+        )
+    return designs
+
+
+def time_derivation(design, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        derive_activation_functions(design)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.mark.benchmark(group="scalability")
+def test_activation_derivation_scales_linearly(benchmark, record):
+    designs = build_suite()
+
+    def run():
+        return [(d.stats()["cells"], time_derivation(d)) for d in designs]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [
+        "Activation derivation runtime vs netlist size (O(|V|+|E|) claim)",
+        f"{'cells':>8} {'time[ms]':>10} {'us/cell':>9}",
+    ]
+    for cells, seconds in rows:
+        lines.append(f"{cells:>8d} {1000 * seconds:>10.2f} {1e6 * seconds / cells:>9.1f}")
+    record("scalability_activation", "\n".join(lines))
+
+    smallest_cells, smallest_time = rows[0]
+    largest_cells, largest_time = rows[-1]
+    size_ratio = largest_cells / smallest_cells
+    time_ratio = largest_time / max(smallest_time, 1e-6)
+    # Rule out super-quadratic growth with generous slack for noise.
+    assert time_ratio < size_ratio ** 2 * 3, (
+        f"time grew {time_ratio:.1f}x for {size_ratio:.1f}x cells"
+    )
+
+    benchmark.extra_info["size_ratio"] = round(size_ratio, 2)
+    benchmark.extra_info["time_ratio"] = round(time_ratio, 2)

@@ -1,0 +1,33 @@
+"""repro — automated RT-level operand isolation for low-power datapaths.
+
+A faithful, self-contained reproduction of M. Münch, B. Wurth, R. Mehra,
+J. Sproch and N. Wehn, "Automating RT-Level Operand Isolation to Minimize
+Power Consumption in Datapaths", DATE 2000 — including the RTL netlist
+substrate, a cycle-based power-aware simulator, macro power models,
+static timing, the activation-function derivation, the savings model and
+the iterative isolation algorithm, plus the baseline techniques the paper
+compares against.
+
+Quickstart::
+
+    from repro import designs, core
+    design = designs.paper_example()
+    result = core.isolate_design(design, style="and")
+    print(result.summary())
+"""
+
+__version__ = "1.0.0"
+
+from repro import baselines, boolean, core, designs, netlist, power, sim, timing, verify
+
+__all__ = [
+    "netlist",
+    "boolean",
+    "sim",
+    "power",
+    "timing",
+    "core",
+    "designs",
+    "baselines",
+    "verify",
+]

@@ -1,0 +1,30 @@
+"""Baseline techniques the paper compares against (Section 2).
+
+* :mod:`repro.baselines.manual` — Correale [3]: manual, local-scope
+  isolation of modules feeding multiplexors, using the mux select as the
+  activation signal.
+* :mod:`repro.baselines.guarded` — Tiwari et al. [9], *guarded
+  evaluation*: isolation driven by an **existing** signal of the circuit
+  (never synthesizing new activation logic); candidates for which no
+  suitable existing signal exists stay unguarded.
+* :mod:`repro.baselines.enable_gating` — Kapadia et al. [4]:
+  control-signal gating of *register enables* instead of inserting
+  blocking logic; structurally unable to help modules fed by
+  multi-fanout registers or directly by primary inputs.
+
+Each baseline returns the same kind of transformed-design result so the
+benchmark harness can compare power reductions across techniques on
+identical designs and stimuli.
+"""
+
+from repro.baselines.manual import manual_mux_isolation
+from repro.baselines.guarded import guarded_evaluation
+from repro.baselines.enable_gating import enable_gating
+from repro.baselines.clock_gating import clock_gate_registers
+
+__all__ = [
+    "manual_mux_isolation",
+    "guarded_evaluation",
+    "enable_gating",
+    "clock_gate_registers",
+]

@@ -1,0 +1,159 @@
+"""Control-signal gating of register outputs (Kapadia et al. [4]).
+
+Kapadia et al. stop switching activity by gating *register enables* with
+control-derived gating signals instead of inserting blocking logic at
+module inputs. The Münch paper's Section 2 lists its structural limits:
+
+* a register with **multiple fanouts** cannot be optimally isolated
+  (holding it for one idle consumer would starve the others — Fig. 7 of
+  [4]);
+* **no savings in combinational logic fed directly by primary inputs**
+  (there is no register to gate).
+
+We implement an *idealised* form of the technique (idealised in the
+baseline's favour — the real transform additionally needs a one-cycle
+look-ahead on the gating signal, which we grant for free): for every
+module operand whose source register feeds **only** that module's input
+cone, a transparent hold latch is placed on the register's output, gated
+by the module's same-cycle activation signal. Holding the register
+output when the module is idle is power-equivalent to gating the
+register's enable, and passing it whenever the result is observable
+makes the transform observably equivalent.
+
+Operands sourced from primary inputs, constants or shared registers are
+left untouched — the documented coverage gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.boolean.synth import ExpressionSynthesizer
+from repro.core.activation import derive_activation_functions
+from repro.errors import IsolationError
+from repro.netlist.banks import LatchBank
+from repro.netlist.bitref import materialize_variable_nets
+from repro.netlist.cells import Cell
+from repro.netlist.design import Design
+from repro.netlist.logic import BitSelect, Buffer, Gate2, Mux, NotGate
+from repro.netlist.nets import Net
+from repro.netlist.seq import Register
+
+
+def _feeds_only_module(net: Net, module: Cell, _seen: Set[Net] = None) -> bool:
+    """True if every combinational path from ``net`` ends at ``module``'s
+    data inputs (the exclusivity condition for gating the source)."""
+    if _seen is None:
+        _seen = set()
+    if net in _seen:
+        return True
+    _seen.add(net)
+    if not net.readers:
+        return False
+    for pin in net.readers:
+        cell = pin.cell
+        if cell is module:
+            if pin.is_control:
+                return False
+            continue
+        if isinstance(cell, (Mux, Gate2, NotGate, Buffer, BitSelect)):
+            if pin.is_control:
+                return False
+            for out in cell.output_pins:
+                if not _feeds_only_module(out.net, module, _seen):
+                    return False
+            continue
+        return False
+    return True
+
+
+@dataclass
+class EnableGatingResult:
+    """Outcome of the enable-gating baseline."""
+
+    design: Design
+    gated: List[Tuple[str, str]] = field(default_factory=list)  #: (register, module)
+    skipped_shared: List[str] = field(default_factory=list)
+    skipped_pi_fed: List[str] = field(default_factory=list)
+
+    @property
+    def gated_registers(self) -> List[str]:
+        return [reg for reg, _module in self.gated]
+
+
+def enable_gating(design: Design) -> EnableGatingResult:
+    """Apply idealised Kapadia-style gating to a copy of ``design``."""
+    working = design.copy(f"{design.name}_enablegated")
+    analysis = derive_activation_functions(working)
+    result = EnableGatingResult(design=working)
+    synthesizer: Dict[str, ExpressionSynthesizer] = {}
+
+    for module in sorted(working.datapath_modules, key=lambda c: c.name):
+        activation = analysis.of_module(module)
+        if activation.is_true:
+            continue
+        for port in module.data_input_ports:
+            operand_net = module.net(port)
+            # Walk back to the unique source register, if any.
+            source = _unique_source_register(operand_net)
+            if source is None:
+                if _is_pi_fed(operand_net):
+                    result.skipped_pi_fed.append(f"{module.name}.{port}")
+                continue
+            source_net = source.net("Q")
+            if not _feeds_only_module(source_net, module, set()):
+                result.skipped_shared.append(source.name)
+                continue
+            if any(
+                getattr(pin.cell, "is_isolation_bank", False)
+                for pin in source_net.readers
+            ):
+                continue  # already gated for this (or another) module
+            # Synthesize (or reuse) the activation signal.
+            variable_nets = materialize_variable_nets(
+                working, sorted(activation.support())
+            )
+            synth = ExpressionSynthesizer(
+                working, variable_nets, name_prefix=f"gate_{module.name}"
+            )
+            synth_result = synth.synthesize(activation)
+            for cell in synth_result.cells:
+                cell.isolation_role = "activation"
+            # Hold latch on the register output, in front of all readers.
+            bank_name = working.fresh_cell_name(f"hold_{source.name}")
+            bank = working.add_cell(LatchBank(bank_name))
+            bank.isolation_role = "bank"
+            held_net = working.add_net(
+                working.fresh_net_name(bank_name), source_net.width
+            )
+            for pin in list(source_net.readers):
+                if pin.cell is bank:
+                    continue
+                working.rewire_input(pin.cell, pin.port, held_net)
+            working.connect(bank, "D", source_net)
+            working.connect(bank, "EN", synth_result.output)
+            working.connect(bank, "Y", held_net)
+            result.gated.append((source.name, module.name))
+    return result
+
+
+def _unique_source_register(net: Net) -> Cell:
+    """The register driving ``net`` (directly), or None."""
+    driver = net.driver
+    if driver is not None and isinstance(driver.cell, Register):
+        return driver.cell
+    return None
+
+
+def _is_pi_fed(net: Net) -> bool:
+    """True if ``net`` is driven (possibly through logic) by primary inputs."""
+    driver = net.driver
+    if driver is None:
+        return False
+    cell = driver.cell
+    if cell.kind == "pi":
+        return True
+    if isinstance(cell, (Mux, Gate2, NotGate, Buffer, BitSelect)):
+        return any(_is_pi_fed(pin.net) for pin in cell.input_pins)
+    return False

@@ -1,0 +1,128 @@
+"""Guarded evaluation (Tiwari et al. [9]) adapted to the RT level.
+
+Guarded evaluation blocks a logic block's inputs with latches controlled
+by an **existing** signal of the circuit — it never synthesizes new
+activation logic. Its documented weakness (and the motivation for the
+paper's approach) is that *"the existence of such a signal cannot be
+guaranteed"*.
+
+This baseline searches, per candidate module, for an existing one-bit
+net ``g`` such that ``f_c → g`` (whenever the module's result is
+observable, the guard passes — so guarding with ``g`` is safe) and ``g``
+is not a tautology. Among the safe guards it picks the one with the
+lowest one-probability (blocking the most cycles). Modules with no safe
+existing guard remain unguarded — exactly the coverage gap the paper
+exploits.
+
+Implication checks are done canonically on BDDs after grounding both
+functions over *source* control variables (primary inputs, register
+outputs, module outputs), via structural expansion of the intermediate
+control logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.boolean.bdd import BddManager
+from repro.boolean.expr import FALSE, TRUE, Expr, and_, not_, or_, var
+from repro.core.activation import derive_activation_functions, select_condition
+from repro.core.controlfn import control_function
+from repro.core.isolate import IsolationInstance, isolate_candidate
+from repro.errors import IsolationError
+from repro.netlist.bitref import format_bitref, parse_bitref
+from repro.netlist.cells import Cell
+from repro.netlist.design import Design
+from repro.netlist.logic import (
+    AndGate,
+    BitSelect,
+    Buffer,
+    Mux,
+    NandGate,
+    NorGate,
+    NotGate,
+    OrGate,
+    XnorGate,
+    XorGate,
+)
+from repro.netlist.nets import Net
+from repro.netlist.ports import Constant, PrimaryInput
+from repro.netlist.traversal import transitive_fanout_cells
+
+
+def _ground(design: Design, expr: Expr) -> Expr:
+    """Expand an activation function's variables through control logic."""
+    substitution: Dict[str, Expr] = {}
+    for name in expr.support():
+        net, _bit = parse_bitref(design, name)
+        if net.width == 1:
+            substitution[name] = control_function(net)
+    return expr.substitute(substitution)
+
+
+@dataclass
+class GuardedResult:
+    """Guarded-evaluation outcome: transform + coverage bookkeeping."""
+
+    design: Design
+    instances: List[IsolationInstance] = field(default_factory=list)
+    guards: Dict[str, str] = field(default_factory=dict)  #: module -> guard net
+    unguardable: List[str] = field(default_factory=list)
+
+    @property
+    def isolated_names(self) -> List[str]:
+        return [inst.candidate.name for inst in self.instances]
+
+
+def guarded_evaluation(design: Design, style: str = "latch") -> GuardedResult:
+    """Apply guarded evaluation with existing-signal guards to a copy."""
+    working = design.copy(f"{design.name}_guarded")
+    analysis = derive_activation_functions(working)
+    manager = BddManager()
+    result = GuardedResult(design=working)
+
+    candidate_guards = [
+        net
+        for net in working.nets
+        if net.width == 1
+        and net.driver is not None
+        and not isinstance(net.driver.cell, Constant)
+    ]
+
+    for module in sorted(working.datapath_modules, key=lambda c: c.name):
+        f_c = analysis.of_module(module)
+        if f_c.is_true:
+            result.unguardable.append(module.name)
+            continue
+        grounded_f = _ground(working, f_c)
+        downstream = transitive_fanout_cells(module, stop_at_sequential=True)
+        downstream.add(module)
+
+        best_net: Optional[Net] = None
+        best_prob = 1.0
+        for guard in candidate_guards:
+            if guard.driver is not None and guard.driver.cell in downstream:
+                continue  # would create a combinational loop
+            grounded_g = _ground(working, control_function(guard))
+            if manager.is_tautology(grounded_g):
+                continue
+            if not manager.implies(grounded_f, grounded_g):
+                continue
+            prob = manager.expr_probability(grounded_g, {})
+            if prob < best_prob - 1e-12:
+                best_prob = prob
+                best_net = guard
+        if best_net is None:
+            result.unguardable.append(module.name)
+            continue
+        try:
+            instance = isolate_candidate(
+                working, module, var(best_net.name), style=style
+            )
+        except IsolationError:
+            result.unguardable.append(module.name)
+            continue
+        result.instances.append(instance)
+        result.guards[module.name] = best_net.name
+    return result

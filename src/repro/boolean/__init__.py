@@ -1,0 +1,54 @@
+"""Boolean function substrate.
+
+Activation functions (paper Section 3) and multiplexing functions
+(Section 4.1) are Boolean functions over one-bit control nets. This
+package provides:
+
+* :mod:`repro.boolean.expr` — immutable expression trees in factored
+  form, with smart constructors that fold constants and flatten;
+* :mod:`repro.boolean.simplify` — algebraic simplification (absorption,
+  complementation, idempotence);
+* :mod:`repro.boolean.bdd` — a reduced ordered BDD package for canonical
+  comparison and exact probability evaluation;
+* :mod:`repro.boolean.probability` — signal probabilities of expressions;
+* :mod:`repro.boolean.synth` — mapping expressions onto netlist gates
+  (the *activation logic* of the paper).
+"""
+
+from repro.boolean.expr import (
+    FALSE,
+    TRUE,
+    And,
+    Const,
+    Expr,
+    Not,
+    Or,
+    Var,
+    and_,
+    not_,
+    or_,
+    var,
+)
+from repro.boolean.simplify import simplify
+from repro.boolean.bdd import BddManager
+from repro.boolean.probability import signal_probability
+from repro.boolean.synth import synthesize_expression
+
+__all__ = [
+    "Expr",
+    "Const",
+    "Var",
+    "Not",
+    "And",
+    "Or",
+    "TRUE",
+    "FALSE",
+    "var",
+    "not_",
+    "and_",
+    "or_",
+    "simplify",
+    "BddManager",
+    "signal_probability",
+    "synthesize_expression",
+]

@@ -1,0 +1,195 @@
+"""A compact reduced ordered binary decision diagram (ROBDD) package.
+
+Used for two things the expression layer cannot do reliably:
+
+* canonical equivalence / tautology checks (e.g. verifying that
+  simplification and isolation rewrites preserve activation functions);
+* exact probability evaluation under variable independence
+  (:meth:`BddManager.probability`), which seeds the savings model before
+  any simulation data exists.
+
+Nodes are integers indexing into the manager's node table; 0 and 1 are
+the terminals. The variable order is the order of first use, extendable
+with :meth:`BddManager.declare`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+from repro.boolean.expr import And, Const, Expr, Not, Or, Var
+from repro.errors import BooleanError
+
+_Node = int
+
+
+class BddManager:
+    """Owns the node table, unique table and operation caches."""
+
+    FALSE: _Node = 0
+    TRUE: _Node = 1
+
+    def __init__(self) -> None:
+        # Node table: index -> (level, low, high). Terminals get a level
+        # beyond every variable.
+        self._nodes: List[Tuple[int, _Node, _Node]] = [
+            (1 << 30, 0, 0),
+            (1 << 30, 1, 1),
+        ]
+        self._unique: Dict[Tuple[int, _Node, _Node], _Node] = {}
+        self._ite_cache: Dict[Tuple[_Node, _Node, _Node], _Node] = {}
+        self._var_level: Dict[str, int] = {}
+        self._level_var: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Variables
+    # ------------------------------------------------------------------
+    def declare(self, name: str) -> _Node:
+        """Ensure ``name`` has a level; return its positive-literal node."""
+        if name not in self._var_level:
+            self._var_level[name] = len(self._level_var)
+            self._level_var.append(name)
+        level = self._var_level[name]
+        return self._mk(level, self.FALSE, self.TRUE)
+
+    @property
+    def variables(self) -> List[str]:
+        return list(self._level_var)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    # ------------------------------------------------------------------
+    # Core construction
+    # ------------------------------------------------------------------
+    def _mk(self, level: int, low: _Node, high: _Node) -> _Node:
+        if low == high:
+            return low
+        key = (level, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self._nodes)
+            self._nodes.append(key)
+            self._unique[key] = node
+        return node
+
+    def _level(self, node: _Node) -> int:
+        return self._nodes[node][0]
+
+    def _cofactors(self, node: _Node, level: int) -> Tuple[_Node, _Node]:
+        node_level, low, high = self._nodes[node]
+        if node_level == level:
+            return low, high
+        return node, node
+
+    def ite(self, cond: _Node, then: _Node, other: _Node) -> _Node:
+        """If-then-else — the universal BDD operation."""
+        if cond == self.TRUE:
+            return then
+        if cond == self.FALSE:
+            return other
+        if then == other:
+            return then
+        if then == self.TRUE and other == self.FALSE:
+            return cond
+        key = (cond, then, other)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        level = min(self._level(cond), self._level(then), self._level(other))
+        c0, c1 = self._cofactors(cond, level)
+        t0, t1 = self._cofactors(then, level)
+        e0, e1 = self._cofactors(other, level)
+        result = self._mk(level, self.ite(c0, t0, e0), self.ite(c1, t1, e1))
+        self._ite_cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Boolean algebra
+    # ------------------------------------------------------------------
+    def apply_and(self, a: _Node, b: _Node) -> _Node:
+        return self.ite(a, b, self.FALSE)
+
+    def apply_or(self, a: _Node, b: _Node) -> _Node:
+        return self.ite(a, self.TRUE, b)
+
+    def apply_xor(self, a: _Node, b: _Node) -> _Node:
+        return self.ite(a, self.apply_not(b), b)
+
+    def apply_not(self, a: _Node) -> _Node:
+        return self.ite(a, self.FALSE, self.TRUE)
+
+    # ------------------------------------------------------------------
+    # Expression bridge
+    # ------------------------------------------------------------------
+    def from_expr(self, expr: Expr) -> _Node:
+        """Compile an expression tree into a BDD node."""
+        if isinstance(expr, Const):
+            return self.TRUE if expr.value else self.FALSE
+        if isinstance(expr, Var):
+            return self.declare(expr.name)
+        if isinstance(expr, Not):
+            return self.apply_not(self.from_expr(expr.child))
+        if isinstance(expr, And):
+            node = self.TRUE
+            for arg in expr.args:
+                node = self.apply_and(node, self.from_expr(arg))
+            return node
+        if isinstance(expr, Or):
+            node = self.FALSE
+            for arg in expr.args:
+                node = self.apply_or(node, self.from_expr(arg))
+            return node
+        raise BooleanError(f"cannot compile {type(expr).__name__} to a BDD")
+
+    def equivalent(self, a: Expr, b: Expr) -> bool:
+        """Canonical equivalence check of two expressions."""
+        return self.from_expr(a) == self.from_expr(b)
+
+    def is_tautology(self, expr: Expr) -> bool:
+        return self.from_expr(expr) == self.TRUE
+
+    def is_contradiction(self, expr: Expr) -> bool:
+        return self.from_expr(expr) == self.FALSE
+
+    def implies(self, a: Expr, b: Expr) -> bool:
+        """True iff ``a → b`` is a tautology."""
+        na, nb = self.from_expr(a), self.from_expr(b)
+        return self.apply_and(na, self.apply_not(nb)) == self.FALSE
+
+    # ------------------------------------------------------------------
+    # Quantitative queries
+    # ------------------------------------------------------------------
+    def probability(self, node: _Node, probs: Mapping[str, float]) -> float:
+        """Pr[f = 1] assuming independent variables with given one-probs.
+
+        Variables missing from ``probs`` default to 0.5.
+        """
+        cache: Dict[_Node, float] = {self.FALSE: 0.0, self.TRUE: 1.0}
+
+        def walk(n: _Node) -> float:
+            if n in cache:
+                return cache[n]
+            level, low, high = self._nodes[n]
+            p = probs.get(self._level_var[level], 0.5)
+            result = (1.0 - p) * walk(low) + p * walk(high)
+            cache[n] = result
+            return result
+
+        return walk(node)
+
+    def expr_probability(self, expr: Expr, probs: Mapping[str, float]) -> float:
+        return self.probability(self.from_expr(expr), probs)
+
+    def count_nodes(self, node: _Node) -> int:
+        """Number of distinct internal nodes reachable from ``node``."""
+        seen = set()
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current in (self.FALSE, self.TRUE) or current in seen:
+                continue
+            seen.add(current)
+            _, low, high = self._nodes[current]
+            stack.extend((low, high))
+        return len(seen)

@@ -1,0 +1,296 @@
+"""Immutable Boolean expression trees (factored form).
+
+Expressions are built with the smart constructors :func:`var`,
+:func:`not_`, :func:`and_` and :func:`or_`, which perform cheap local
+normalisation: constant folding, flattening of nested conjunctions/
+disjunctions, duplicate removal, and complement detection (``x·x̄ = 0``,
+``x + x̄ = 1``). The resulting trees are hashable and structurally
+comparable, and their :meth:`Expr.literal_count` is the paper's area
+proxy for activation logic (Section 5.1: "the literal count of the
+activation function, which by construction is given in factored form").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Mapping, Tuple
+
+
+class Expr:
+    """Base class of all Boolean expression nodes."""
+
+    __slots__ = ()
+
+    # -- queries --------------------------------------------------------
+    def support(self) -> FrozenSet[str]:
+        """Names of all variables appearing in the expression."""
+        raise NotImplementedError
+
+    def evaluate(self, env: Mapping[str, int]) -> bool:
+        """Evaluate under an assignment of truth values to variables.
+
+        ``env`` maps variable names to ints/bools; missing variables
+        raise ``KeyError`` (callers must supply the full support).
+        """
+        raise NotImplementedError
+
+    def literal_count(self) -> int:
+        """Number of literal occurrences (factored-form area proxy)."""
+        raise NotImplementedError
+
+    # -- transforms -----------------------------------------------------
+    def substitute(self, mapping: Mapping[str, "Expr"]) -> "Expr":
+        """Replace variables by expressions (simultaneous substitution)."""
+        raise NotImplementedError
+
+    def cofactor(self, name: str, value: bool) -> "Expr":
+        """Shannon cofactor with respect to ``name = value``."""
+        return self.substitute({name: TRUE if value else FALSE})
+
+    # -- operators ------------------------------------------------------
+    def __and__(self, other: "Expr") -> "Expr":
+        return and_(self, other)
+
+    def __or__(self, other: "Expr") -> "Expr":
+        return or_(self, other)
+
+    def __invert__(self) -> "Expr":
+        return not_(self)
+
+    @property
+    def is_true(self) -> bool:
+        return isinstance(self, Const) and self.value
+
+    @property
+    def is_false(self) -> bool:
+        return isinstance(self, Const) and not self.value
+
+
+class Const(Expr):
+    """The constants 0 and 1."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool) -> None:
+        object.__setattr__(self, "value", bool(value))
+
+    def __setattr__(self, *args) -> None:  # pragma: no cover - immutability
+        raise AttributeError("Const is immutable")
+
+    def support(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def evaluate(self, env: Mapping[str, int]) -> bool:
+        return self.value
+
+    def literal_count(self) -> int:
+        return 0
+
+    def substitute(self, mapping: Mapping[str, Expr]) -> Expr:
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Const) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("const", self.value))
+
+    def __repr__(self) -> str:
+        return "1" if self.value else "0"
+
+
+TRUE = Const(True)
+FALSE = Const(False)
+
+
+class Var(Expr):
+    """A Boolean variable, named after the control net it samples."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        object.__setattr__(self, "name", name)
+
+    def __setattr__(self, *args) -> None:  # pragma: no cover - immutability
+        raise AttributeError("Var is immutable")
+
+    def support(self) -> FrozenSet[str]:
+        return frozenset((self.name,))
+
+    def evaluate(self, env: Mapping[str, int]) -> bool:
+        return bool(env[self.name])
+
+    def literal_count(self) -> int:
+        return 1
+
+    def substitute(self, mapping: Mapping[str, Expr]) -> Expr:
+        return mapping.get(self.name, self)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Var) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("var", self.name))
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class Not(Expr):
+    """Negation. The smart constructor guarantees the child is not a
+    constant and not another negation."""
+
+    __slots__ = ("child",)
+
+    def __init__(self, child: Expr) -> None:
+        object.__setattr__(self, "child", child)
+
+    def __setattr__(self, *args) -> None:  # pragma: no cover - immutability
+        raise AttributeError("Not is immutable")
+
+    def support(self) -> FrozenSet[str]:
+        return self.child.support()
+
+    def evaluate(self, env: Mapping[str, int]) -> bool:
+        return not self.child.evaluate(env)
+
+    def literal_count(self) -> int:
+        return self.child.literal_count()
+
+    def substitute(self, mapping: Mapping[str, Expr]) -> Expr:
+        return not_(self.child.substitute(mapping))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Not) and self.child == other.child
+
+    def __hash__(self) -> int:
+        return hash(("not", self.child))
+
+    def __repr__(self) -> str:
+        if isinstance(self.child, Var):
+            return f"!{self.child!r}"
+        return f"!({self.child!r})"
+
+
+class _NaryOp(Expr):
+    """Shared implementation of n-ary AND / OR."""
+
+    __slots__ = ("args",)
+    _identity: bool
+    _symbol: str
+
+    def __init__(self, args: Tuple[Expr, ...]) -> None:
+        object.__setattr__(self, "args", args)
+
+    def __setattr__(self, *args) -> None:  # pragma: no cover - immutability
+        raise AttributeError("expression nodes are immutable")
+
+    def support(self) -> FrozenSet[str]:
+        result: FrozenSet[str] = frozenset()
+        for arg in self.args:
+            result |= arg.support()
+        return result
+
+    def literal_count(self) -> int:
+        return sum(arg.literal_count() for arg in self.args)
+
+    def __eq__(self, other: object) -> bool:
+        return type(other) is type(self) and self.args == other.args
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.args))
+
+    def __repr__(self) -> str:
+        parts = []
+        for arg in self.args:
+            text = repr(arg)
+            if isinstance(arg, _NaryOp):
+                text = f"({text})"
+            parts.append(text)
+        return self._symbol.join(parts)
+
+
+class And(_NaryOp):
+    """Conjunction of two or more factors."""
+
+    __slots__ = ()
+    _identity = True
+    _symbol = "*"
+
+    def evaluate(self, env: Mapping[str, int]) -> bool:
+        return all(arg.evaluate(env) for arg in self.args)
+
+    def substitute(self, mapping: Mapping[str, Expr]) -> Expr:
+        return and_(*(arg.substitute(mapping) for arg in self.args))
+
+
+class Or(_NaryOp):
+    """Disjunction of two or more terms."""
+
+    __slots__ = ()
+    _identity = False
+    _symbol = " + "
+
+    def evaluate(self, env: Mapping[str, int]) -> bool:
+        return any(arg.evaluate(env) for arg in self.args)
+
+    def substitute(self, mapping: Mapping[str, Expr]) -> Expr:
+        return or_(*(arg.substitute(mapping) for arg in self.args))
+
+
+# ----------------------------------------------------------------------
+# Smart constructors
+# ----------------------------------------------------------------------
+def var(name: str) -> Var:
+    """A variable literal."""
+    return Var(name)
+
+
+def not_(operand: Expr) -> Expr:
+    """Negation with double-negation and constant elimination."""
+    if isinstance(operand, Const):
+        return FALSE if operand.value else TRUE
+    if isinstance(operand, Not):
+        return operand.child
+    return Not(operand)
+
+
+def _flatten(cls: type, operands: Iterable[Expr]) -> Tuple[Expr, ...]:
+    flat = []
+    for operand in operands:
+        if isinstance(operand, cls):
+            flat.extend(operand.args)
+        else:
+            flat.append(operand)
+    return tuple(flat)
+
+
+def _normalise(
+    cls: type, annihilator: Const, identity: Const, operands: Iterable[Expr]
+) -> Expr:
+    seen: Dict[Expr, None] = {}
+    for operand in _flatten(cls, operands):
+        if operand == annihilator:
+            return annihilator
+        if operand == identity:
+            continue
+        if operand not in seen:
+            seen[operand] = None
+    unique = tuple(seen)
+    for operand in unique:
+        if not_(operand) in seen:
+            return annihilator
+    if not unique:
+        return identity
+    if len(unique) == 1:
+        return unique[0]
+    return cls(unique)
+
+
+def and_(*operands: Expr) -> Expr:
+    """Conjunction with folding: ``and_()`` is 1, absorbing 0, x·x̄ = 0."""
+    return _normalise(And, FALSE, TRUE, operands)
+
+
+def or_(*operands: Expr) -> Expr:
+    """Disjunction with folding: ``or_()`` is 0, absorbing 1, x + x̄ = 1."""
+    return _normalise(Or, TRUE, FALSE, operands)

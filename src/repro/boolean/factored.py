@@ -1,0 +1,111 @@
+"""Factoring: reducing the literal count of activation functions.
+
+The paper implements activation logic "either [as] a direct
+implementation or an optimized version thereof" and uses the factored-
+form literal count as its area proxy. This module provides classic
+algebraic factoring — literal/cube division in the style of Brayton's
+quick_factor — so multi-term activation functions synthesize into fewer
+gates.
+
+Example: ``a·b·c + a·b·d + e`` factors to ``a·b·(c + d) + e`` — five
+literals instead of seven.
+
+Factoring never changes the function (property-tested against BDDs); it
+only restructures the tree, so :func:`factor` can be applied to any
+activation function right before synthesis.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import FrozenSet, List, Optional, Tuple
+
+from repro.boolean.expr import And, Const, Expr, Not, Or, Var, and_, not_, or_
+from repro.boolean.simplify import simplify
+
+
+def _is_literal(expr: Expr) -> bool:
+    return isinstance(expr, Var) or (
+        isinstance(expr, Not) and isinstance(expr.child, Var)
+    )
+
+
+def _cubes(expr: Expr) -> Optional[List[FrozenSet[Expr]]]:
+    """View an expression as a sum of cubes (sets of literals).
+
+    Returns None when the expression is not in simple SOP shape (deeply
+    nested factors are left alone — they are already factored).
+    """
+    if _is_literal(expr):
+        return [frozenset((expr,))]
+    if isinstance(expr, And):
+        if all(_is_literal(arg) for arg in expr.args):
+            return [frozenset(expr.args)]
+        return None
+    if isinstance(expr, Or):
+        cubes: List[FrozenSet[Expr]] = []
+        for term in expr.args:
+            sub = _cubes(term)
+            if sub is None or len(sub) != 1:
+                return None
+            cubes.extend(sub)
+        return cubes
+    return None
+
+
+def _rebuild(cube: FrozenSet[Expr]) -> Expr:
+    return and_(*sorted(cube, key=repr))
+
+
+def _most_common_literal(cubes: List[FrozenSet[Expr]]) -> Optional[Expr]:
+    counts: Counter = Counter()
+    for cube in cubes:
+        for literal in cube:
+            counts[literal] += 1
+    if not counts:
+        return None
+    literal, count = counts.most_common(1)[0]
+    return literal if count >= 2 else None
+
+
+def _factor_cubes(cubes: List[FrozenSet[Expr]]) -> Expr:
+    """Recursive literal-division factoring of a cube list."""
+    if not cubes:
+        from repro.boolean.expr import FALSE
+
+        return FALSE
+    if len(cubes) == 1:
+        return _rebuild(cubes[0])
+    divisor = _most_common_literal(cubes)
+    if divisor is None:
+        return or_(*(_rebuild(cube) for cube in cubes))
+    quotient = [cube - {divisor} for cube in cubes if divisor in cube]
+    remainder = [cube for cube in cubes if divisor not in cube]
+    # If dividing leaves an empty cube, the divisor absorbs those terms
+    # entirely: d + d·x = d — handled by the smart constructors below.
+    quotient_expr = _factor_cubes([c for c in quotient if c]) if any(quotient) else None
+    if any(not c for c in quotient):
+        factored = divisor  # divisor alone appears as a term
+    elif quotient_expr is not None:
+        factored = and_(divisor, quotient_expr)
+    else:
+        factored = divisor
+    if remainder:
+        return or_(factored, _factor_cubes(remainder))
+    return factored
+
+
+def factor(expr: Expr) -> Expr:
+    """Algebraically factor ``expr``; returns it unchanged if not SOP.
+
+    The result computes the same function with a literal count no larger
+    than the input's.
+    """
+    simplified = simplify(expr)
+    cubes = _cubes(simplified)
+    if cubes is None:
+        return simplified
+    factored = _factor_cubes(cubes)
+    if factored.literal_count() <= simplified.literal_count():
+        return factored
+    return simplified

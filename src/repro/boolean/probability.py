@@ -1,0 +1,39 @@
+"""Signal probabilities of Boolean expressions.
+
+:func:`signal_probability` gives the exact probability that an expression
+evaluates to 1 when its variables are independent with known one-
+probabilities — computed on a BDD, so reconvergent fanout inside the
+expression (the same variable appearing several times) is handled
+exactly.
+
+This is the *analytical* fallback; the paper measures probabilities such
+as ``Pr(AS_i · AS_j · g)`` during simulation precisely because control
+signals are usually *not* independent. The simulation-measured
+counterpart lives in :mod:`repro.sim.probes`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.boolean.bdd import BddManager
+from repro.boolean.expr import Expr
+
+
+def signal_probability(
+    expr: Expr,
+    probs: Optional[Mapping[str, float]] = None,
+    manager: Optional[BddManager] = None,
+) -> float:
+    """Exact Pr[expr = 1] under variable independence.
+
+    Parameters
+    ----------
+    probs:
+        One-probability per variable name; missing names default to 0.5.
+    manager:
+        Reuse an existing :class:`BddManager` (helpful when evaluating
+        many expressions over the same control signals).
+    """
+    manager = manager or BddManager()
+    return manager.expr_probability(expr, probs or {})

@@ -1,0 +1,146 @@
+"""Synthesis of Boolean expressions into netlist gates.
+
+This implements the paper's *activation logic*: "either a direct
+implementation or an optimized version" of the activation function. The
+mapper builds balanced binary AND/OR trees and inverters over one-bit
+control nets, sharing structurally identical subexpressions so that e.g.
+``S2·G1 + S̄0·S1·G0`` costs one inverter, three ANDs and one OR.
+
+The returned :class:`SynthesisResult` records the created cells so cost
+models can attribute their area/power to the isolation transform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence
+
+from repro.boolean.expr import And, Const, Expr, Not, Or, Var
+from repro.errors import BooleanError
+from repro.netlist.cells import Cell
+from repro.netlist.design import Design
+from repro.netlist.logic import AndGate, NotGate, OrGate
+from repro.netlist.nets import Net
+from repro.netlist.ports import Constant
+
+
+@dataclass
+class SynthesisResult:
+    """Outcome of mapping one expression onto gates."""
+
+    output: Net
+    cells: List[Cell] = field(default_factory=list)
+
+    @property
+    def gate_count(self) -> int:
+        return len(self.cells)
+
+
+class ExpressionSynthesizer:
+    """Maps expressions into a design, sharing common subexpressions.
+
+    One synthesizer instance may be reused for several expressions over
+    the same design (its memo table then shares logic *between*
+    activation functions too, as a real synthesis flow would).
+    """
+
+    def __init__(
+        self,
+        design: Design,
+        variable_nets: Mapping[str, Net],
+        name_prefix: str = "act",
+    ) -> None:
+        self.design = design
+        self.variable_nets = dict(variable_nets)
+        self.name_prefix = name_prefix
+        self._memo: Dict[Expr, Net] = {}
+        # Net-level CSE: n-ary operators are flattened in expression form,
+        # so a shared a·b inside a·b·c is only recoverable at the gate
+        # level — memoize each emitted (gate, operand nets) combination.
+        self._gate_memo: Dict[tuple, Net] = {}
+        self.created_cells: List[Cell] = []
+
+    # ------------------------------------------------------------------
+    def synthesize(self, expr: Expr) -> SynthesisResult:
+        """Map ``expr``; returns its output net and the new cells."""
+        created_before = len(self.created_cells)
+        output = self._emit(expr)
+        return SynthesisResult(
+            output=output, cells=self.created_cells[created_before:]
+        )
+
+    # ------------------------------------------------------------------
+    def _emit(self, expr: Expr) -> Net:
+        memoised = self._memo.get(expr)
+        if memoised is not None:
+            return memoised
+        if isinstance(expr, Var):
+            try:
+                net = self.variable_nets[expr.name]
+            except KeyError:
+                raise BooleanError(
+                    f"no net bound for activation variable {expr.name!r}"
+                ) from None
+            if net.width != 1:
+                raise BooleanError(
+                    f"activation variable {expr.name!r} is bound to a "
+                    f"{net.width}-bit net; control nets must be one bit"
+                )
+        elif isinstance(expr, Const):
+            net = self._emit_const(expr.value)
+        elif isinstance(expr, Not):
+            net = self._emit_gate(NotGate, [self._emit(expr.child)])
+        elif isinstance(expr, (And, Or)):
+            gate = AndGate if isinstance(expr, And) else OrGate
+            nets = [self._emit(arg) for arg in expr.args]
+            net = self._reduce_tree(gate, nets)
+        else:
+            raise BooleanError(f"cannot synthesize {type(expr).__name__}")
+        self._memo[expr] = net
+        return net
+
+    def _emit_const(self, value: bool) -> Net:
+        name = self.design.fresh_cell_name(f"{self.name_prefix}_const")
+        cell = self.design.add_cell(Constant(name, int(value)))
+        net = self.design.add_net(self.design.fresh_net_name(name), 1)
+        self.design.connect(cell, "Y", net)
+        self.created_cells.append(cell)
+        return net
+
+    def _emit_gate(self, gate_cls: type, inputs: Sequence[Net]) -> Net:
+        key = (gate_cls.kind,) + tuple(sorted(id(net) for net in inputs))
+        cached = self._gate_memo.get(key)
+        if cached is not None:
+            return cached
+        name = self.design.fresh_cell_name(f"{self.name_prefix}_{gate_cls.kind}")
+        cell = self.design.add_cell(gate_cls(name))
+        ports = ["A", "B"] if len(inputs) == 2 else ["A"]
+        for port, net in zip(ports, inputs):
+            self.design.connect(cell, port, net)
+        out = self.design.add_net(self.design.fresh_net_name(name), 1)
+        self.design.connect(cell, "Y", out)
+        self.created_cells.append(cell)
+        self._gate_memo[key] = out
+        return out
+
+    def _reduce_tree(self, gate_cls: type, nets: List[Net]) -> Net:
+        """Balanced binary reduction of >= 2 operand nets."""
+        layer = list(nets)
+        while len(layer) > 1:
+            next_layer = []
+            for i in range(0, len(layer) - 1, 2):
+                next_layer.append(self._emit_gate(gate_cls, layer[i : i + 2]))
+            if len(layer) % 2:
+                next_layer.append(layer[-1])
+            layer = next_layer
+        return layer[0]
+
+
+def synthesize_expression(
+    design: Design,
+    expr: Expr,
+    variable_nets: Mapping[str, Net],
+    name_prefix: str = "act",
+) -> SynthesisResult:
+    """One-shot convenience wrapper around :class:`ExpressionSynthesizer`."""
+    return ExpressionSynthesizer(design, variable_nets, name_prefix).synthesize(expr)

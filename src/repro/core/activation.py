@@ -1,0 +1,229 @@
+"""Derivation of activation functions (paper Section 3).
+
+The activation function ``f_c`` of a module ``c`` evaluates to 1 exactly
+when ``c`` performs a **non-redundant** computation — its result is
+observable somewhere downstream. We compute ``f_c`` by a structural
+observability traversal of the transitive fanout of ``c``'s output,
+confined to the module's combinational block:
+
+* a net feeding a **primary output** is always observed (condition 1);
+* a net feeding a **register D input** is observed iff the register
+  loads: condition ``G`` (its enable), with the register's own
+  forward-looking activation ``f_r⁺`` *defined constant 1* — the paper's
+  key simplification that avoids cross-cycle look-ahead and FSM analysis
+  and makes the whole derivation O(|V|+|E|);
+* through a **multiplexor data input** ``Dk``: the select condition
+  ``S == k`` AND the mux output's activation;
+* through a **gate**: the side inputs at non-controlling values (the
+  "degenerated multiplexor" view) AND the gate output's activation —
+  conservatively 1 when the side inputs are not one-bit control nets;
+* through a **transparent latch / isolation bank**: its gate/enable AND
+  the output's activation (this is what makes re-derivation compose
+  across isolation iterations);
+* through another **arithmetic module**: that module's own activation
+  function (toggles at its inputs are assumed observable at its output),
+  exactly reproducing the paper's ``f_a1 = S2·G1 + S̄0·S1·f_a0`` chain;
+* any **control pin** (mux select, register/latch/bank enable) makes the
+  net unconditionally observed: steering a decision is a use.
+
+Conservatism note: every approximation above errs toward *more*
+observability (f = 1), never less — so isolation driven by these
+functions can lose savings but can never block a needed computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.boolean.expr import TRUE, Expr, and_, not_, or_, var
+from repro.boolean.simplify import simplify
+from repro.errors import IsolationError
+from repro.netlist.banks import _BankBase
+from repro.netlist.cells import Cell, Pin
+from repro.netlist.design import Design
+from repro.netlist.logic import BitSelect, Buffer, Gate2, Mux, NotGate
+from repro.netlist.nets import Net
+from repro.netlist.bitref import format_bitref
+from repro.netlist.ports import PrimaryOutput
+from repro.netlist.seq import Register, TransparentLatch
+
+
+def select_condition(mux: Mux, index: int) -> Expr:
+    """Boolean condition under which ``mux`` steers input ``Dindex``.
+
+    For a one-bit select this is ``S`` / ``S̄``; for wider selects it is
+    the product over select bits of the binary encoding of ``index``
+    (values beyond ``n_inputs - 1`` wrap in simulation, but no condition
+    is generated for them — conservatively those cycles count as
+    unobserved only if no generated condition holds, which over-blocks
+    never: see module docstring).
+    """
+    select_net = mux.net("S")
+    factors: List[Expr] = []
+    for bit in range(select_net.width):
+        literal = var(format_bitref(select_net, bit if select_net.width > 1 else None))
+        if (index >> bit) & 1:
+            factors.append(literal)
+        else:
+            factors.append(not_(literal))
+    return and_(*factors)
+
+
+def enable_condition(cell: Cell, port: str) -> Expr:
+    """Condition expression for a one-bit enable/gate net on ``cell.port``."""
+    net = cell.net(port)
+    return var(format_bitref(net))
+
+
+def gate_side_condition(gate: Gate2, port: str) -> Expr:
+    """Observability of ``gate.port`` through the other input.
+
+    AND-like gates need the side input at 1, OR-like at 0, XOR-like are
+    always transparent. Expressible only when the side input is a one-bit
+    net; otherwise conservatively 1.
+    """
+    if gate.CONTROLLING is None:
+        return TRUE
+    conditions: List[Expr] = []
+    for side in gate.side_ports(port):
+        side_net = gate.net(side)
+        if side_net.width != 1:
+            return TRUE
+        literal = var(format_bitref(side_net))
+        # Observable when the side input is at the NON-controlling value.
+        conditions.append(not_(literal) if gate.CONTROLLING == 1 else literal)
+    return and_(*conditions)
+
+
+@dataclass
+class ActivationAnalysis:
+    """Activation functions for every net and module of one design."""
+
+    design: Design
+    net_functions: Dict[Net, Expr] = field(default_factory=dict)
+    module_functions: Dict[Cell, Expr] = field(default_factory=dict)
+
+    def of_module(self, cell: Cell) -> Expr:
+        try:
+            return self.module_functions[cell]
+        except KeyError:
+            raise IsolationError(
+                f"{cell.name!r} is not a datapath module of design "
+                f"{self.design.name!r}"
+            ) from None
+
+    def of_net(self, net: Net) -> Expr:
+        return self.net_functions[net]
+
+
+class _ActivationDeriver:
+    """Memoized backward-from-sinks observability computation.
+
+    ``register_lookahead`` optionally supplies a pre-computed next-cycle
+    activation function ``f_r⁺`` per register (see
+    :mod:`repro.core.lookahead`); registers not in the mapping use the
+    paper's constant-1 simplification.
+    """
+
+    def __init__(
+        self,
+        design: Design,
+        register_lookahead: Optional[Dict[Cell, Expr]] = None,
+    ) -> None:
+        self.design = design
+        self.register_lookahead = register_lookahead or {}
+        self._memo: Dict[Net, Expr] = {}
+        self._in_progress: set = set()
+
+    def net_function(self, net: Net) -> Expr:
+        cached = self._memo.get(net)
+        if cached is not None:
+            return cached
+        if net in self._in_progress:
+            # A combinational cycle would already have failed validation;
+            # this guards latch feedback structures conservatively.
+            return TRUE
+        self._in_progress.add(net)
+        terms = [self._reader_condition(pin) for pin in net.readers]
+        result = or_(*terms)
+        self._in_progress.discard(net)
+        self._memo[net] = result
+        return result
+
+    # ------------------------------------------------------------------
+    def _reader_condition(self, pin: Pin) -> Expr:
+        cell = pin.cell
+        # Any control use (select, enable) is an unconditional observation.
+        if pin.is_control:
+            return TRUE
+        if isinstance(cell, PrimaryOutput):
+            return TRUE
+        if isinstance(cell, Register):
+            # G · f_r+ — f_r+ := 1 (the Section 3 simplification) unless a
+            # look-ahead function was supplied for this register.
+            f_r_next = self.register_lookahead.get(cell, TRUE)
+            if cell.has_enable:
+                return and_(enable_condition(cell, "EN"), f_r_next)
+            return f_r_next
+        if isinstance(cell, TransparentLatch):
+            return and_(enable_condition(cell, "G"), self.net_function(cell.net("Q")))
+        if isinstance(cell, _BankBase):
+            return and_(enable_condition(cell, "EN"), self.net_function(cell.net("Y")))
+        if isinstance(cell, Mux):
+            index = int(pin.port[1:])  # port name "D<k>"
+            return and_(
+                select_condition(cell, index), self.net_function(cell.net("Y"))
+            )
+        if isinstance(cell, Gate2):
+            return and_(
+                gate_side_condition(cell, pin.port),
+                self.net_function(cell.net("Y")),
+            )
+        if isinstance(cell, (NotGate, Buffer, BitSelect)):
+            return self.net_function(cell.net("Y"))
+        if cell.is_datapath_module:
+            # Toggles at a module input are observable at its output; the
+            # module's own activation then gates further observability.
+            return self.net_function(cell.net("Y"))
+        # Unknown combinational cell: conservative.
+        return TRUE
+
+
+def net_activation_function(design: Design, net: Net, simplified: bool = True) -> Expr:
+    """Activation function of a single net (1 = its value is observed)."""
+    expr = _ActivationDeriver(design).net_function(net)
+    return simplify(expr) if simplified else expr
+
+
+def derive_activation_functions(
+    design: Design,
+    simplified: bool = True,
+    register_lookahead: Optional[Dict[Cell, Expr]] = None,
+) -> ActivationAnalysis:
+    """Activation functions of every net and every datapath module.
+
+    One breadth-first-equivalent memoized pass: O(|V|+|E|) traversal with
+    shared subexpressions, as in the paper. ``register_lookahead`` plugs
+    in next-cycle register activation functions (the Section 3 extension
+    implemented in :mod:`repro.core.lookahead`); without it every
+    register uses ``f_r⁺ = 1``.
+    """
+    deriver = _ActivationDeriver(design, register_lookahead)
+    analysis = ActivationAnalysis(design=design)
+    for module in design.datapath_modules:
+        for pin in module.output_pins:
+            expr = deriver.net_function(pin.net)
+            combined = analysis.module_functions.get(module)
+            expr = expr if combined is None else or_(combined, expr)
+            analysis.module_functions[module] = expr
+        if simplified:
+            analysis.module_functions[module] = simplify(
+                analysis.module_functions[module]
+            )
+    # Register outputs' activation functions feed the look-ahead extension.
+    for register in design.registers:
+        deriver.net_function(register.net("Q"))
+    for net, expr in deriver._memo.items():
+        analysis.net_functions[net] = simplify(expr) if simplified else expr
+    return analysis

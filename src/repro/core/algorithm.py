@@ -1,0 +1,389 @@
+"""Algorithm 1: iterative automated operand isolation (paper Section 5.3).
+
+:func:`isolate_design` drives the whole flow on a *copy* of the input
+design:
+
+1. partition the RT structure into combinational blocks;
+2. identify isolation candidates and reject those whose estimated
+   post-isolation slack falls below the threshold;
+3. repeat until no candidate is isolated:
+
+   a. simulate the current design, measuring toggle rates and the signal
+      statistics (``estimate_power`` + ``Pr(·)`` of Algorithm 1 line 16);
+   b. score every remaining candidate with ``h(c) = ω_p·rP − ω_a·rA``;
+   c. in each combinational block, isolate the best candidate if it
+      clears ``h_min``.
+
+The result records every iteration's scores and the before/after power,
+area and worst-slack metrics measured with the *same* stimulus and clock
+period, i.e. the quantities of the paper's Tables 1 and 2.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Union
+
+from repro.core.activation import derive_activation_functions
+from repro.core.candidates import IsolationCandidate, find_candidates
+from repro.core.cost import CandidateCost, CostModel, CostWeights
+from repro.core.isolate import IsolationInstance, isolate_candidate
+from repro.core.savings import SavingsModel
+from repro.errors import IsolationError
+from repro.netlist.design import Design
+from repro.netlist.partition import partition_blocks
+from repro.power.estimator import PowerEstimator
+from repro.power.library import TechnologyLibrary, default_library
+from repro.sim.engine import Simulator
+from repro.sim.monitor import ToggleMonitor
+from repro.sim.stimulus import Stimulus
+from repro.timing.impact import estimate_isolation_impact
+from repro.timing.sta import analyze_timing
+
+StimulusSource = Union[Stimulus, Callable[[], Stimulus]]
+
+
+@dataclass(frozen=True)
+class IsolationConfig:
+    """Knobs of Algorithm 1.
+
+    Attributes
+    ----------
+    style:
+        Isolation style: ``"and"``, ``"or"``, ``"latch"`` — or ``"auto"``,
+        which scores every candidate under all three styles each
+        iteration and isolates with whichever maximises ``h(c)`` (so e.g.
+        short-idle-burst candidates get latches while long-burst ones get
+        cheap AND gates, see Ablation A).
+    weights:
+        The ω_p/ω_a/h_min cost trade-off (Section 5.1).
+    cycles / warmup:
+        Simulation length per estimation run.
+    clock_period:
+        Timing constraint in ns. ``None`` sets it from the original
+        design's critical path times ``period_margin`` (the paper's
+        designs met their constraints with margin to spare).
+    period_margin:
+        Multiplier applied to the critical path when deriving the period.
+    slack_threshold:
+        Candidates whose *estimated* post-isolation slack would fall
+        below this are rejected up front (Algorithm 1, lines 5–10).
+    refined_savings:
+        Use the refined per-source primary-savings model (default) or
+        the plain Eq. (1) approximation.
+    lookahead_depth:
+        Rounds of one-cycle register look-ahead when deriving activation
+        functions (:mod:`repro.core.lookahead`). 0 (default) is the
+        paper's baseline ``f_r⁺ = 1``. With look-ahead enabled,
+        free-running pipeline registers may capture blocked values in
+        provably-unconsumed cycles, so verify the result with
+        ``compare_registers=False``.
+    max_iterations:
+        Safety bound on the main loop; the loop normally exits because
+        no candidate clears ``h_min``.
+    """
+
+    style: str = "and"
+    weights: CostWeights = field(default_factory=CostWeights)
+    cycles: int = 2000
+    warmup: int = 32
+    clock_period: Optional[float] = None
+    period_margin: float = 1.25
+    slack_threshold: float = 0.0
+    refined_savings: bool = True
+    lookahead_depth: int = 0
+    max_iterations: int = 25
+
+
+@dataclass
+class DesignMetrics:
+    """Power / area / slack snapshot of one design state."""
+
+    power_mw: float
+    area: float
+    worst_slack: float
+    clock_period: float
+
+
+@dataclass
+class IterationRecord:
+    """What happened in one pass of the main loop."""
+
+    index: int
+    total_power_mw: float
+    scores: List[CandidateCost] = field(default_factory=list)
+    isolated: List[str] = field(default_factory=list)
+    rejected_slack: List[str] = field(default_factory=list)
+
+
+@dataclass
+class IsolationResult:
+    """Everything :func:`isolate_design` produces."""
+
+    original: Design
+    design: Design
+    config: IsolationConfig
+    baseline: DesignMetrics
+    final: DesignMetrics
+    instances: List[IsolationInstance] = field(default_factory=list)
+    iterations: List[IterationRecord] = field(default_factory=list)
+
+    @property
+    def isolated_names(self) -> List[str]:
+        return [inst.candidate.name for inst in self.instances]
+
+    @property
+    def power_reduction(self) -> float:
+        """Fractional power reduction (positive = saved power)."""
+        if self.baseline.power_mw <= 0:
+            return 0.0
+        return 1.0 - self.final.power_mw / self.baseline.power_mw
+
+    @property
+    def area_increase(self) -> float:
+        """Fractional area increase."""
+        if self.baseline.area <= 0:
+            return 0.0
+        return self.final.area / self.baseline.area - 1.0
+
+    @property
+    def slack_reduction(self) -> float:
+        """Fractional worst-slack reduction (positive = slack got worse)."""
+        if self.baseline.worst_slack <= 0:
+            return 0.0
+        return 1.0 - self.final.worst_slack / self.baseline.worst_slack
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable record of the run (for tooling/dashboards)."""
+        return {
+            "design": self.original.name,
+            "style": self.config.style,
+            "isolated": self.isolated_names,
+            "power_mw": {
+                "before": self.baseline.power_mw,
+                "after": self.final.power_mw,
+                "reduction": self.power_reduction,
+            },
+            "area_um2": {
+                "before": self.baseline.area,
+                "after": self.final.area,
+                "increase": self.area_increase,
+            },
+            "slack_ns": {
+                "before": self.baseline.worst_slack,
+                "after": self.final.worst_slack,
+                "clock_period": self.baseline.clock_period,
+            },
+            "iterations": [
+                {
+                    "index": record.index,
+                    "measured_power_mw": record.total_power_mw,
+                    "isolated": record.isolated,
+                    "rejected_slack": record.rejected_slack,
+                    "scores": [
+                        {
+                            "candidate": score.candidate.name,
+                            "h": score.h,
+                            "net_mw": score.savings.net_mw,
+                            "idle_probability": score.savings.idle_probability,
+                        }
+                        for score in record.scores
+                    ],
+                }
+                for record in self.iterations
+            ],
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"Operand isolation of {self.original.name!r} "
+            f"(style={self.config.style!r})",
+            f"  isolated modules : {', '.join(self.isolated_names) or '(none)'}",
+            f"  power  : {self.baseline.power_mw:8.4f} -> {self.final.power_mw:8.4f} mW "
+            f"({self.power_reduction:+.1%})",
+            f"  area   : {self.baseline.area:8.0f} -> {self.final.area:8.0f} um^2 "
+            f"({self.area_increase:+.1%})",
+            f"  slack  : {self.baseline.worst_slack:8.3f} -> {self.final.worst_slack:8.3f} ns "
+            f"(clock {self.baseline.clock_period:.3f} ns)",
+            f"  iterations: {len(self.iterations)}",
+        ]
+        return "\n".join(lines)
+
+
+def _stimulus_of(source: StimulusSource) -> Stimulus:
+    """A fresh stimulus per estimation run (identical statistics each time)."""
+    if callable(source) and not hasattr(source, "values"):
+        return source()
+    return copy.deepcopy(source)
+
+
+def _measure_power(
+    design: Design,
+    source: StimulusSource,
+    config: IsolationConfig,
+    library: TechnologyLibrary,
+    extra_monitors: Optional[list] = None,
+) -> float:
+    monitor = ToggleMonitor()
+    monitors = [monitor] + list(extra_monitors or [])
+    Simulator(design).run(
+        _stimulus_of(source), config.cycles, monitors=monitors, warmup=config.warmup
+    )
+    breakdown = PowerEstimator(library).breakdown(design, monitor)
+    return breakdown.total_power_mw, monitor
+
+
+def isolate_design(
+    design: Design,
+    stimulus: StimulusSource,
+    config: Optional[IsolationConfig] = None,
+    library: Optional[TechnologyLibrary] = None,
+) -> IsolationResult:
+    """Run Algorithm 1 on ``design`` (which is left untouched).
+
+    ``stimulus`` is either a stimulus object (deep-copied per estimation
+    run so every run sees identical statistics) or a zero-argument
+    factory returning a fresh stimulus.
+    """
+    config = config or IsolationConfig()
+    library = library or default_library()
+
+    working = design.copy(f"{design.name}_iso_{config.style}")
+
+    # --- Baseline metrics & timing constraint -------------------------
+    reference_timing = analyze_timing(working, library, clock_period=None)
+    period = config.clock_period
+    if period is None:
+        period = reference_timing.clock_period * config.period_margin
+    baseline_timing = analyze_timing(working, library, clock_period=period)
+    baseline_power, _ = _measure_power(working, stimulus, config, library)
+    baseline = DesignMetrics(
+        power_mw=baseline_power,
+        area=library.total_area(working),
+        worst_slack=baseline_timing.worst_slack,
+        clock_period=period,
+    )
+
+    result = IsolationResult(
+        original=design,
+        design=working,
+        config=config,
+        baseline=baseline,
+        final=baseline,  # replaced below
+    )
+
+    rejected: Set[str] = set()
+
+    # --- Main loop (Algorithm 1, lines 13–31) -------------------------
+    for index in range(config.max_iterations):
+        blocks = partition_blocks(working)
+        if config.lookahead_depth > 0:
+            from repro.core.lookahead import derive_with_lookahead
+
+            analysis = derive_with_lookahead(working, depth=config.lookahead_depth)
+        else:
+            analysis = derive_activation_functions(working)
+        candidates = find_candidates(working, analysis, blocks)
+
+        # Prune candidates whose activation function is a tautology —
+        # syntactically (f ≡ 1) or semantically (e.g. the OR of a full
+        # mux-select decode): isolation could never block anything.
+        from repro.boolean.bdd import BddManager
+
+        tautology_check = BddManager()
+        eligible: List[IsolationCandidate] = [
+            c
+            for c in candidates
+            if not c.isolated
+            and c.name not in rejected
+            and not c.always_active
+            and not tautology_check.is_tautology(c.activation)
+        ]
+
+        # Slack rejection (lines 5–10; re-checked per iteration because
+        # earlier isolations change arrival times). With style "auto" a
+        # candidate survives if ANY style meets timing; the per-candidate
+        # style choice below only considers the surviving styles.
+        styles = ["and", "or", "latch"] if config.style == "auto" else [config.style]
+        record = IterationRecord(index=index, total_power_mw=0.0)
+        timing = analyze_timing(working, library, clock_period=period)
+        slack_ok: List[IsolationCandidate] = []
+        allowed_styles: Dict[str, List[str]] = {}
+        for c in eligible:
+            passing = []
+            for style in styles:
+                impact = estimate_isolation_impact(
+                    working, c.cell, c.activation, style, library, timing
+                )
+                if not impact.violates(config.slack_threshold):
+                    passing.append(style)
+            if passing:
+                slack_ok.append(c)
+                allowed_styles[c.name] = passing
+            else:
+                rejected.add(c.name)
+                record.rejected_slack.append(c.name)
+        if not slack_ok:
+            result.iterations.append(record)
+            break
+
+        # estimate_power + signal statistics (line 16): one simulation.
+        savings_model = SavingsModel(working, candidates, library)
+        total_power, monitor = _measure_power(
+            working, stimulus, config, library, extra_monitors=[savings_model.probes]
+        )
+        savings_model.calibrate(monitor)
+        record.total_power_mw = total_power
+
+        cost_model = CostModel(
+            savings_model,
+            library,
+            total_power_mw=total_power,
+            total_area=library.total_area(working),
+            weights=config.weights,
+        )
+
+        # Per block: isolate the best candidate clearing h_min (lines 17–29).
+        performed = False
+        for block in blocks:
+            block_candidates = [
+                c for c in slack_ok if c.block.index == block.index
+            ]
+            if not block_candidates:
+                continue
+            scores = []
+            for c in block_candidates:
+                best_for_candidate = None
+                for style in allowed_styles[c.name]:
+                    score = cost_model.evaluate(
+                        c, style, refined=config.refined_savings
+                    )
+                    if best_for_candidate is None or score.h > best_for_candidate.h:
+                        best_for_candidate = score
+                scores.append(best_for_candidate)
+            record.scores.extend(scores)
+            best = max(scores, key=lambda s: s.h)
+            if best.h >= config.weights.h_min:
+                instance = isolate_candidate(
+                    working, best.candidate.cell, best.candidate.activation,
+                    style=best.savings.style,
+                )
+                result.instances.append(instance)
+                record.isolated.append(best.candidate.name)
+                performed = True
+
+        result.iterations.append(record)
+        if not performed:
+            break
+
+    # --- Final metrics -------------------------------------------------
+    final_power, _ = _measure_power(working, stimulus, config, library)
+    final_timing = analyze_timing(working, library, clock_period=period)
+    result.final = DesignMetrics(
+        power_mw=final_power,
+        area=library.total_area(working),
+        worst_slack=final_timing.worst_slack,
+        clock_period=period,
+    )
+    return result

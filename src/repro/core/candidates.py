@@ -1,0 +1,239 @@
+"""Isolation candidates and their fanin/fanout structure (Section 4.1).
+
+An :class:`IsolationCandidate` bundles everything the savings and cost
+models need about one datapath module:
+
+* its activation function ``f_c``;
+* per data input, the **fanin candidates** ``C⁻(c)`` — other modules
+  whose outputs can reach that input through the combinational logic
+  network ``L`` — each with its **multiplexing function** ``g`` (the
+  condition on control signals under which the connection is configured,
+  e.g. ``g_{a1,A}^{a0} = S̄0·S1`` in the paper's example);
+* per data input, the **environment sources** — registers, primary
+  inputs and constants feeding the input, with their conditions (the
+  paper neglects these for savings, we track them to decompose measured
+  toggle rates);
+* the **fanout candidates** ``C⁺(c)`` — the inverse relation, used for
+  secondary savings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.boolean.expr import TRUE, Expr, and_, or_
+from repro.boolean.simplify import simplify
+from repro.core.activation import (
+    ActivationAnalysis,
+    derive_activation_functions,
+    gate_side_condition,
+    enable_condition,
+    select_condition,
+)
+from repro.netlist.banks import _BankBase
+from repro.netlist.cells import Cell
+from repro.netlist.design import Design
+from repro.netlist.logic import BitSelect, Buffer, Gate2, Mux, NotGate
+from repro.netlist.nets import Net
+from repro.netlist.partition import CombinationalBlock, partition_blocks
+from repro.netlist.seq import TransparentLatch
+
+
+@dataclass
+class FaninLink:
+    """A module reachable upstream of one candidate input."""
+
+    source: Cell  #: the fanin candidate c_k
+    net: Net  #: which output net of c_k reaches the input (multi-output aware)
+    condition: Expr  #: multiplexing function g — when the path is configured
+
+
+@dataclass
+class EnvironmentSource:
+    """A non-module source (register/PI/constant) of one candidate input."""
+
+    net: Net  #: the boundary net (register Q, PI net, constant)
+    condition: Expr  #: condition under which it is steered to the input
+
+
+@dataclass
+class FanoutLink:
+    """A module downstream of the candidate's output."""
+
+    sink: Cell  #: the fanout candidate c_j
+    port: str  #: which data input of c_j the output reaches
+    source_net: Net  #: which output net of the candidate feeds it
+    condition: Expr  #: multiplexing function of the connecting network
+
+
+@dataclass
+class IsolationCandidate:
+    """One datapath module considered for operand isolation."""
+
+    cell: Cell
+    block: CombinationalBlock
+    activation: Expr
+    fanin: Dict[str, List[FaninLink]] = field(default_factory=dict)
+    environment: Dict[str, List[EnvironmentSource]] = field(default_factory=dict)
+    fanout: List[FanoutLink] = field(default_factory=list)
+    #: The paper's decision variable z: set once the module is isolated.
+    isolated: bool = False
+    #: Style of the existing isolation ("and"/"or"/"latch"), when detected.
+    isolation_style: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        return self.cell.name
+
+    @property
+    def always_active(self) -> bool:
+        """True when f_c ≡ 1 — isolation can never save anything."""
+        return self.activation.is_true
+
+    @property
+    def isolable_bits(self) -> int:
+        """Total operand bits an isolation bank would gate (area proxy)."""
+        return sum(
+            self.cell.net(port).width for port in self.cell.data_input_ports
+        )
+
+    def fanin_candidates(self, port: str) -> List[Cell]:
+        """The paper's ``C⁻_port(c)``."""
+        return [link.source for link in self.fanin.get(port, [])]
+
+    def fanout_candidates(self) -> List[Cell]:
+        """The paper's ``C⁺(c)``."""
+        return [link.sink for link in self.fanout]
+
+    def __repr__(self) -> str:
+        return f"IsolationCandidate({self.cell.name!r}, f={self.activation!r})"
+
+
+def _trace_sources(
+    net: Net,
+    condition: Expr,
+    links: List[Tuple[Tuple[Cell, Net], Expr]],
+    env: List[Tuple[Net, Expr]],
+) -> None:
+    """Walk backward through the logic network accumulating conditions."""
+    driver = net.driver
+    if driver is None:
+        env.append((net, condition))
+        return
+    cell = driver.cell
+    if cell.is_datapath_module:
+        links.append(((cell, net), condition))
+        return
+    if cell.is_sequential or cell.kind in ("pi", "const"):
+        env.append((net, condition))
+        return
+    if isinstance(cell, Mux):
+        for index, port in enumerate(cell.data_ports()):
+            _trace_sources(
+                cell.net(port),
+                and_(condition, select_condition(cell, index)),
+                links,
+                env,
+            )
+        return
+    if isinstance(cell, Gate2):
+        for port in ("A", "B"):
+            _trace_sources(
+                cell.net(port),
+                and_(condition, gate_side_condition(cell, port)),
+                links,
+                env,
+            )
+        return
+    if isinstance(cell, (NotGate, Buffer, BitSelect)):
+        _trace_sources(cell.net("A"), condition, links, env)
+        return
+    if isinstance(cell, TransparentLatch):
+        _trace_sources(
+            cell.net("D"), and_(condition, enable_condition(cell, "G")), links, env
+        )
+        return
+    if isinstance(cell, _BankBase):
+        _trace_sources(
+            cell.net("D"), and_(condition, enable_condition(cell, "EN")), links, env
+        )
+        return
+    # Unknown combinational cell: treat its output as an environment source.
+    env.append((net, condition))
+
+
+def _merge_conditions(pairs: List[Tuple[object, Expr]]) -> List[Tuple[object, Expr]]:
+    """OR together conditions of duplicate sources, preserving order."""
+    order: List[object] = []
+    merged: Dict[object, Expr] = {}
+    for source, condition in pairs:
+        if source in merged:
+            merged[source] = or_(merged[source], condition)
+        else:
+            merged[source] = condition
+            order.append(source)
+    return [(source, simplify(merged[source])) for source in order]
+
+
+def find_candidates(
+    design: Design,
+    analysis: Optional[ActivationAnalysis] = None,
+    blocks: Optional[List[CombinationalBlock]] = None,
+) -> List[IsolationCandidate]:
+    """Identify every isolation candidate with its full link structure.
+
+    Candidates are returned in deterministic (name) order. Modules whose
+    operands are already gated by isolation banks are flagged
+    ``isolated=True`` (relevant when analysing a transformed design).
+    """
+    analysis = analysis or derive_activation_functions(design)
+    blocks = blocks if blocks is not None else partition_blocks(design)
+    block_by_cell = {cell: block for block in blocks for cell in block.cells}
+
+    candidates: List[IsolationCandidate] = []
+    by_cell: Dict[Cell, IsolationCandidate] = {}
+    for module in sorted(design.datapath_modules, key=lambda c: c.name):
+        candidate = IsolationCandidate(
+            cell=module,
+            block=block_by_cell[module],
+            activation=analysis.of_module(module),
+        )
+        for port in module.data_input_ports:
+            links: List[Tuple[Tuple[Cell, Net], Expr]] = []
+            env: List[Tuple[Net, Expr]] = []
+            _trace_sources(module.net(port), TRUE, links, env)
+            candidate.fanin[port] = [
+                FaninLink(source=source, net=source_net, condition=condition)
+                for (source, source_net), condition in _merge_conditions(links)
+            ]
+            candidate.environment[port] = [
+                EnvironmentSource(net=net, condition=condition)
+                for net, condition in _merge_conditions(env)
+            ]
+            driver = module.net(port).driver
+            if driver is not None and isinstance(driver.cell, _BankBase):
+                candidate.isolated = True
+                candidate.isolation_style = {
+                    "andbank": "and",
+                    "orbank": "or",
+                    "latbank": "latch",
+                }.get(driver.cell.kind)
+        candidates.append(candidate)
+        by_cell[module] = candidate
+
+    # Fanout links are the inverse of fanin links.
+    for candidate in candidates:
+        for port, links in candidate.fanin.items():
+            for link in links:
+                source = by_cell.get(link.source)
+                if source is not None:
+                    source.fanout.append(
+                        FanoutLink(
+                            sink=candidate.cell,
+                            port=port,
+                            source_net=link.net,
+                            condition=link.condition,
+                        )
+                    )
+    return candidates

@@ -1,0 +1,81 @@
+"""Structural expansion of control logic into Boolean functions.
+
+:func:`control_function` expresses a one-bit net as a Boolean function
+over *source* control variables — primary inputs, register outputs,
+datapath-module outputs, and individual bits of wider buses — by seeing
+through the glue logic (gates, inverters, buffers, bit taps, one-bit
+muxes) that computes it.
+
+Used by the guarded-evaluation baseline (to compare candidate guards
+canonically) and by the look-ahead extension (to predict next-cycle
+control values from register inputs).
+"""
+
+from __future__ import annotations
+
+from repro.boolean.expr import FALSE, TRUE, Expr, and_, not_, or_, var
+from repro.core.activation import select_condition
+from repro.netlist.bitref import format_bitref
+from repro.netlist.logic import (
+    AndGate,
+    BitSelect,
+    Buffer,
+    Mux,
+    NandGate,
+    NorGate,
+    NotGate,
+    OrGate,
+    XnorGate,
+    XorGate,
+)
+from repro.netlist.nets import Net
+from repro.netlist.ports import Constant
+
+
+def control_function(net: Net, _depth: int = 0) -> Expr:
+    """Boolean function of a one-bit net over source control variables.
+
+    Sources (atomic variables) are primary inputs, register outputs,
+    datapath-module outputs and anything else the expansion cannot see
+    through. Constants fold to 0/1. Bounded recursion depth guards
+    against pathological glue chains.
+    """
+    if net.width != 1:
+        raise ValueError(f"net {net.name!r} is not one bit wide")
+    driver = net.driver
+    if driver is None or _depth > 64:
+        return var(net.name)
+    cell = driver.cell
+    if isinstance(cell, Constant):
+        return TRUE if (cell.value & 1) else FALSE
+    if isinstance(cell, NotGate):
+        return not_(control_function(cell.net("A"), _depth + 1))
+    if isinstance(cell, Buffer):
+        return control_function(cell.net("A"), _depth + 1)
+    if isinstance(cell, BitSelect):
+        return var(format_bitref(cell.net("A"), cell.bit))
+    if isinstance(cell, (AndGate, OrGate, NandGate, NorGate, XorGate, XnorGate)):
+        a = control_function(cell.net("A"), _depth + 1)
+        b = control_function(cell.net("B"), _depth + 1)
+        if isinstance(cell, AndGate):
+            return and_(a, b)
+        if isinstance(cell, OrGate):
+            return or_(a, b)
+        if isinstance(cell, NandGate):
+            return not_(and_(a, b))
+        if isinstance(cell, NorGate):
+            return not_(or_(a, b))
+        xor = or_(and_(a, not_(b)), and_(not_(a), b))
+        return xor if isinstance(cell, XorGate) else not_(xor)
+    if isinstance(cell, Mux):
+        terms = []
+        for index, port in enumerate(cell.data_ports()):
+            terms.append(
+                and_(
+                    select_condition(cell, index),
+                    control_function(cell.net(port), _depth + 1),
+                )
+            )
+        return or_(*terms)
+    # Registers, PIs, modules, banks... : atomic.
+    return var(net.name)

@@ -1,0 +1,101 @@
+"""Candidate cost evaluation (paper Section 5.1, Eq. 6).
+
+``h(c) = ω_p · rP(c) − ω_a · rA(c)`` where
+
+* ``rP(c) = (ΔP_p + ΔP_s − P_i) / P_t`` — relative power change,
+* ``rA(c) = A(c) / A_t`` — relative area increase from the isolation
+  banks (one gated bit per operand bit) and the activation logic
+  (approximated by its literal count, as in the paper).
+
+The quotient ``ω_p / ω_a`` sets how much power reduction must come with a
+given area increase; a candidate is isolated only when ``h(c) ≥ h_min``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.candidates import IsolationCandidate
+from repro.core.savings import SavingsEstimate, SavingsModel
+from repro.power.library import TechnologyLibrary
+
+
+@dataclass(frozen=True)
+class CostWeights:
+    """The ω_p / ω_a trade-off and acceptance threshold of Algorithm 1."""
+
+    omega_p: float = 1.0
+    omega_a: float = 0.25
+    h_min: float = 0.0
+
+
+@dataclass
+class CandidateCost:
+    """Scored candidate: savings estimate + area + the scalar h(c)."""
+
+    candidate: IsolationCandidate
+    savings: SavingsEstimate
+    area: float
+    relative_power: float
+    relative_area: float
+    h: float
+
+    @property
+    def accepted(self) -> bool:
+        return self._accepted
+
+    _accepted: bool = False
+
+
+class CostModel:
+    """Evaluates h(c) for candidates of one design snapshot."""
+
+    def __init__(
+        self,
+        savings_model: SavingsModel,
+        library: TechnologyLibrary,
+        total_power_mw: float,
+        total_area: float,
+        weights: Optional[CostWeights] = None,
+    ) -> None:
+        self.savings_model = savings_model
+        self.library = library
+        self.total_power_mw = max(total_power_mw, 1e-12)
+        self.total_area = max(total_area, 1e-12)
+        self.weights = weights or CostWeights()
+
+    # ------------------------------------------------------------------
+    def isolation_area(self, candidate: IsolationCandidate, style: str) -> float:
+        """Area of the would-be banks + activation logic, in µm²."""
+        bank_kind = {"and": "andbank", "or": "orbank", "latch": "latbank"}[style]
+        per_bit = self.library.params_by_kind(bank_kind).area_per_bit
+        bank_area = per_bit * candidate.isolable_bits
+        # Activation logic area ≈ literal count × a two-input gate's area
+        # (the paper's factored-form literal-count proxy).
+        gate_area = self.library.params_by_kind("and2").area_per_bit
+        act_area = candidate.activation.literal_count() * gate_area
+        return bank_area + act_area
+
+    def evaluate(
+        self, candidate: IsolationCandidate, style: str, refined: bool = True
+    ) -> CandidateCost:
+        """Score one candidate: Eq. (6)."""
+        savings = self.savings_model.estimate(candidate, style, refined=refined)
+        area = self.isolation_area(candidate, style)
+        relative_power = savings.net_mw / self.total_power_mw
+        relative_area = area / self.total_area
+        h = (
+            self.weights.omega_p * relative_power
+            - self.weights.omega_a * relative_area
+        )
+        cost = CandidateCost(
+            candidate=candidate,
+            savings=savings,
+            area=area,
+            relative_power=relative_power,
+            relative_area=relative_area,
+            h=h,
+        )
+        cost._accepted = h >= self.weights.h_min
+        return cost

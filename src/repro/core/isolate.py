@@ -1,0 +1,174 @@
+"""The isolation transform: netlist rewriting (paper Section 5.2).
+
+:func:`isolate_candidate` rewrites a design in place:
+
+1. the candidate's activation function is synthesized into gates (the
+   *activation logic*), producing a one-bit activation-signal net ``AS``
+   with the convention **high = non-redundant** (pass);
+2. for every operand input, an isolation bank of the chosen style is
+   inserted between the original operand net and the module:
+
+   * ``and``   — AND gates force zeros while idle,
+   * ``or``    — OR gates force ones while idle,
+   * ``latch`` — transparent latches freeze the last operand while idle;
+
+3. the module's input pins are rewired to the bank outputs.
+
+All cells created by the transform are tagged with ``isolation_role``
+(``"activation"`` or ``"bank"``) so power reports can attribute the
+overhead, and the bank enables observe the standard bank semantics that
+the activation derivation understands — re-deriving activation functions
+on the transformed design therefore composes correctly on the next
+iteration of Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.boolean.expr import Expr
+from repro.boolean.synth import ExpressionSynthesizer
+from repro.errors import IsolationError
+from repro.netlist.banks import AndBank, LatchBank, OrBank
+from repro.netlist.bitref import materialize_variable_nets
+from repro.netlist.cells import Cell
+from repro.netlist.design import Design
+from repro.netlist.nets import Net
+
+#: The three isolation styles of the paper.
+IsolationStyle = str
+STYLES = ("and", "or", "latch")
+
+_BANK_CLASSES = {"and": AndBank, "or": OrBank, "latch": LatchBank}
+
+
+@dataclass
+class IsolationInstance:
+    """Record of one applied isolation transform."""
+
+    candidate: Cell
+    style: IsolationStyle
+    activation: Expr
+    activation_net: Net
+    banks: List[Cell] = field(default_factory=list)
+    activation_cells: List[Cell] = field(default_factory=list)
+
+    @property
+    def gated_bits(self) -> int:
+        return sum(bank.net("Y").width for bank in self.banks)
+
+
+def isolate_candidate(
+    design: Design,
+    candidate: Cell,
+    activation: Expr,
+    style: IsolationStyle = "and",
+    synthesizer: Optional[ExpressionSynthesizer] = None,
+    optimize: bool = True,
+) -> IsolationInstance:
+    """Apply operand isolation to ``candidate`` within ``design``.
+
+    ``activation`` must be the module's activation function (high =
+    non-redundant); a constant-1 function is rejected because the banks
+    would never block anything.
+
+    A shared ``synthesizer`` may be passed so several isolations of the
+    same design share activation-logic subexpressions. With ``optimize``
+    (default) the activation function is algebraically factored before
+    synthesis — the paper's "optimized version" of the activation logic.
+    """
+    if style not in _BANK_CLASSES:
+        raise IsolationError(f"unknown isolation style {style!r}; use one of {STYLES}")
+    if not candidate.is_datapath_module:
+        raise IsolationError(f"{candidate.name!r} is not a datapath module")
+    if activation.is_true:
+        raise IsolationError(
+            f"candidate {candidate.name!r} is always active (f = 1); "
+            "isolation would only add overhead"
+        )
+    if activation.is_false:
+        raise IsolationError(
+            f"candidate {candidate.name!r} has activation f = 0 — its result "
+            "is never observed; remove the module instead of isolating it"
+        )
+    for port in candidate.data_input_ports:
+        driver = candidate.net(port).driver
+        if driver is not None and getattr(driver.cell, "is_isolation_bank", False):
+            raise IsolationError(f"candidate {candidate.name!r} is already isolated")
+
+    # 1. Activation logic (factored for minimum literal count).
+    if optimize:
+        from repro.boolean.factored import factor
+
+        implementation = factor(activation)
+    else:
+        implementation = activation
+    variable_nets = materialize_variable_nets(
+        design, sorted(implementation.support())
+    )
+    if synthesizer is None:
+        synthesizer = ExpressionSynthesizer(
+            design, variable_nets, name_prefix=f"act_{candidate.name}"
+        )
+    else:
+        synthesizer.variable_nets.update(variable_nets)
+    synth_result = synthesizer.synthesize(implementation)
+    for cell in synth_result.cells:
+        cell.isolation_role = "activation"
+    activation_net = synth_result.output
+
+    instance = IsolationInstance(
+        candidate=candidate,
+        style=style,
+        activation=activation,
+        activation_net=activation_net,
+        activation_cells=list(synth_result.cells),
+    )
+
+    # 2–3. Banks on every operand input.
+    bank_cls = _BANK_CLASSES[style]
+    for port in candidate.data_input_ports:
+        operand_net = candidate.net(port)
+        bank_name = design.fresh_cell_name(f"iso_{candidate.name}_{port.lower()}")
+        bank = design.add_cell(bank_cls(bank_name))
+        bank.isolation_role = "bank"
+        gated_net = design.add_net(design.fresh_net_name(bank_name), operand_net.width)
+        design.rewire_input(candidate, port, gated_net)
+        design.connect(bank, "D", operand_net)
+        design.connect(bank, "EN", activation_net)
+        design.connect(bank, "Y", gated_net)
+        instance.banks.append(bank)
+    return instance
+
+
+def deisolate_candidate(design: Design, instance: IsolationInstance) -> None:
+    """Undo one isolation transform in place.
+
+    The candidate's operand inputs are rewired back to the original
+    nets, the banks are removed, and any activation logic left without
+    readers is swept. Enables explore→measure→revert workflows and is
+    the inverse used by the undo tests.
+    """
+    candidate = instance.candidate
+    for bank in instance.banks:
+        original_net = bank.net("D")
+        gated_net = bank.net("Y")
+        for pin in list(gated_net.readers):
+            design.rewire_input(pin.cell, pin.port, original_net)
+        design.remove_cell(bank)
+        design.remove_net(gated_net)
+    # Activation logic (and bit taps) shared with nothing else is dead now.
+    design.sweep_dangling()
+
+
+def is_isolated(candidate: Cell) -> bool:
+    """True when every operand input of ``candidate`` is bank-gated."""
+    ports = candidate.data_input_ports
+    if not ports:
+        return False
+    for port in ports:
+        driver = candidate.net(port).driver
+        if driver is None or not getattr(driver.cell, "is_isolation_bank", False):
+            return False
+    return True

@@ -1,0 +1,140 @@
+"""One-cycle look-ahead activation functions (the Section 3 extension).
+
+The paper's baseline sets ``f_r⁺ := 1`` for every register because the
+general case "requires a look-ahead to pre-compute signal values in
+subsequent clock cycles", and proposes — without implementing — "a
+structural analysis of the fanin" as one way to do it. This module
+implements exactly that structural look-ahead, in the one situation
+where a single-cycle prediction is *exact*:
+
+A **free-running register** (no load enable) is overwritten every clock
+edge, so the value it captures at edge ``t`` is readable only during
+cycle ``t+1``. Its next-cycle activation ``f_r⁺`` is therefore the
+register output's ordinary activation function with every control
+variable replaced by a *prediction* of its value one cycle ahead:
+
+* a variable sampling a free-running register's output predicts to the
+  register's **current D input** (tap the wire in front of the flop);
+* a variable sampling an **enabled** register's output predicts to
+  ``EN·D + EN̄·Q`` (the mux semantics of the enable);
+* constants predict to themselves;
+* glue logic is expanded with
+  :func:`repro.core.controlfn.control_function` first and each atomic
+  variable predicted recursively;
+* a variable fed by a **primary input** (or a datapath module) is
+  unpredictable — the register falls back to the paper's ``f_r⁺ = 1``.
+
+Enabled registers always keep ``f_r⁺ = 1``: their contents have an
+unbounded lifetime, so a one-cycle window cannot cover all future uses.
+
+:func:`derive_with_lookahead` iterates the construction ``depth`` times
+so pipelines of free-running registers benefit transitively, and returns
+a standard :class:`~repro.core.activation.ActivationAnalysis` usable by
+the whole isolation pipeline. Soundness is enforced the same way as the
+baseline's (the property tests and equivalence checks run over it).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.boolean.expr import FALSE, TRUE, Const, Expr, and_, not_, or_, var
+from repro.boolean.simplify import simplify
+from repro.core.activation import ActivationAnalysis, derive_activation_functions
+from repro.core.controlfn import control_function
+from repro.errors import IsolationError
+from repro.netlist.bitref import format_bitref, parse_bitref
+from repro.netlist.cells import Cell
+from repro.netlist.design import Design
+from repro.netlist.ports import Constant
+from repro.netlist.seq import Register
+
+
+class Unpredictable(IsolationError):
+    """A next-cycle value depends on an unknowable signal (e.g. a PI)."""
+
+
+def _predict_atom(design: Design, name: str, _depth: int) -> Expr:
+    """Next-cycle value of one atomic control variable, as a current-cycle
+    expression. Raises :class:`Unpredictable` when impossible."""
+    net, bit = parse_bitref(design, name)
+    driver = net.driver
+    if driver is None:
+        raise Unpredictable(name)  # primary-input net
+    cell = driver.cell
+    if isinstance(cell, Constant):
+        return TRUE if (cell.value >> bit) & 1 else FALSE
+    if isinstance(cell, Register):
+        d_net = cell.net("D")
+        d_ref = var(format_bitref(d_net, bit if d_net.width > 1 else None))
+        if not cell.has_enable:
+            return d_ref
+        enable = var(format_bitref(cell.net("EN")))
+        current = var(name)
+        return or_(and_(enable, d_ref), and_(not_(enable), current))
+    if cell.kind == "pi" or cell.is_datapath_module:
+        raise Unpredictable(name)
+    # Glue logic: expand to atoms first, then predict those.
+    if net.width == 1:
+        expanded = control_function(net)
+        if expanded == var(net.name):
+            raise Unpredictable(name)  # expansion made no progress
+        return predict_next(design, expanded, _depth + 1)
+    raise Unpredictable(name)
+
+
+def predict_next(design: Design, expr: Expr, _depth: int = 0) -> Expr:
+    """Rewrite ``expr`` (over current-cycle control variables) into an
+    expression whose *current* value equals ``expr``'s value **next**
+    cycle. Raises :class:`Unpredictable` when any variable cannot be
+    predicted."""
+    if _depth > 16:
+        raise Unpredictable("prediction recursion too deep")
+    substitution: Dict[str, Expr] = {}
+    for name in expr.support():
+        substitution[name] = _predict_atom(design, name, _depth)
+    return simplify(expr.substitute(substitution))
+
+
+def register_lookahead_functions(
+    design: Design, analysis: ActivationAnalysis
+) -> Dict[Cell, Expr]:
+    """``f_r⁺`` for every free-running register where prediction succeeds.
+
+    ``analysis`` supplies the current-cycle activation function of each
+    register's output net; predicting it one cycle ahead gives ``f_r⁺``.
+    """
+    result: Dict[Cell, Expr] = {}
+    for register in design.registers:
+        if register.has_enable:
+            continue  # unbounded value lifetime: keep f_r+ = 1
+        q_net = register.net("Q")
+        f_q = analysis.net_functions.get(q_net)
+        if f_q is None or f_q.is_true:
+            continue  # nothing to gain
+        try:
+            result[register] = predict_next(design, f_q)
+        except Unpredictable:
+            continue
+    return result
+
+
+def derive_with_lookahead(
+    design: Design, depth: int = 1, simplified: bool = True
+) -> ActivationAnalysis:
+    """Activation analysis with ``depth`` rounds of register look-ahead.
+
+    ``depth = 0`` reproduces the paper's baseline. Each extra round lets
+    the look-ahead see one register stage further down a free-running
+    pipeline; rounds converge quickly (a round that changes nothing ends
+    the iteration early).
+    """
+    analysis = derive_activation_functions(design, simplified=simplified)
+    for _round in range(depth):
+        lookahead = register_lookahead_functions(design, analysis)
+        if not lookahead:
+            break
+        analysis = derive_activation_functions(
+            design, simplified=simplified, register_lookahead=lookahead
+        )
+    return analysis

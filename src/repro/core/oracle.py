@@ -1,0 +1,107 @@
+"""Oracle analysis: the upper bound on what isolation can save.
+
+A *perfect* isolation of module ``c`` — zero-overhead, zero-area,
+blocking every toggle in every redundant cycle — would save exactly the
+energy ``c`` burns during its ``f_c = 0`` cycles. Measuring that per
+module gives an upper bound against which Algorithm 1's achieved savings
+can be judged, and a per-module "how much is left on the table" figure
+for reports.
+
+Measurement uses conditional toggle monitors: each module pin's toggles
+are split by the truth of the module's activation function in the cycle
+the new value appears, and idle-cycle toggles are priced with the same
+library coefficients as the power estimator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.boolean.expr import not_
+from repro.core.activation import ActivationAnalysis, derive_activation_functions
+from repro.netlist.cells import Cell
+from repro.netlist.design import Design
+from repro.power.estimator import PowerEstimator
+from repro.power.library import TechnologyLibrary, default_library
+from repro.sim.engine import Simulator
+from repro.sim.monitor import ConditionalToggleMonitor, ToggleMonitor
+from repro.sim.stimulus import Stimulus
+
+
+@dataclass
+class OracleReport:
+    """Idle-cycle energy per module and in total."""
+
+    total_power_mw: float
+    idle_power_mw: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def oracle_savings_mw(self) -> float:
+        """Total power a zero-cost perfect isolation could remove."""
+        return sum(self.idle_power_mw.values())
+
+    @property
+    def oracle_fraction(self) -> float:
+        """Share of total power that is redundant computation."""
+        if self.total_power_mw <= 0:
+            return 0.0
+        return self.oracle_savings_mw / self.total_power_mw
+
+    def achieved_fraction(self, measured_savings_mw: float) -> float:
+        """How close a real transform came to the oracle."""
+        bound = self.oracle_savings_mw
+        if bound <= 0:
+            return 1.0
+        return measured_savings_mw / bound
+
+
+def potential_savings(
+    design: Design,
+    stimulus: Stimulus,
+    cycles: int = 2000,
+    library: Optional[TechnologyLibrary] = None,
+    analysis: Optional[ActivationAnalysis] = None,
+    warmup: int = 16,
+) -> OracleReport:
+    """Measure every module's idle-cycle energy under ``stimulus``."""
+    library = library or default_library()
+    analysis = analysis or derive_activation_functions(design)
+
+    conditionals: Dict[Cell, List[ConditionalToggleMonitor]] = {}
+    monitors: List = [ToggleMonitor()]
+    for module in design.datapath_modules:
+        activation = analysis.of_module(module)
+        if activation.is_true:
+            conditionals[module] = []
+            continue
+        idle = not_(activation)
+        pins = []
+        for pin in module.input_pins:
+            if not pin.is_control:
+                pins.append(ConditionalToggleMonitor(pin.net, idle))
+        for pin in module.output_pins:
+            pins.append(ConditionalToggleMonitor(pin.net, idle))
+        conditionals[module] = pins
+        monitors.extend(pins)
+
+    Simulator(design).run(stimulus, cycles, monitors=monitors, warmup=warmup)
+    toggle_monitor = monitors[0]
+    total = PowerEstimator(library).breakdown(design, toggle_monitor).total_power_mw
+
+    report = OracleReport(total_power_mw=total)
+    for module, pins in conditionals.items():
+        if not pins:
+            report.idle_power_mw[module.name] = 0.0
+            continue
+        e_in = library.input_toggle_energy(module)
+        energy = 0.0
+        n_inputs = len(module.data_input_ports)
+        for index, monitor in enumerate(pins):
+            rate = monitor.toggles_true / max(1, toggle_monitor.cycles - 1)
+            if index < n_inputs:
+                energy += e_in * rate
+            else:
+                energy += library.output_toggle_energy(module, monitor.net) * rate
+        report.idle_power_mw[module.name] = library.power_mw(energy)
+    return report

@@ -1,0 +1,121 @@
+"""Result tables in the format of the paper's Tables 1 and 2.
+
+:func:`compare_styles` runs the full Algorithm-1 flow once per isolation
+style on the same design/stimulus and collects a
+:class:`StyleComparison`: power, area and worst slack for the
+non-isolated design and each isolated variant, with the percentage
+deltas the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.algorithm import (
+    IsolationConfig,
+    IsolationResult,
+    StimulusSource,
+    isolate_design,
+)
+from repro.netlist.design import Design
+from repro.power.library import TechnologyLibrary, default_library
+
+#: Row order of the paper's tables.
+STYLE_ROWS = ("non-isolated", "AND-isolated", "OR-isolated", "LAT-isolated")
+_STYLE_OF_ROW = {"AND-isolated": "and", "OR-isolated": "or", "LAT-isolated": "latch"}
+
+
+@dataclass
+class StyleRow:
+    """One row: absolute metrics plus deltas vs the non-isolated design."""
+
+    label: str
+    power_mw: float
+    area: float
+    slack: float
+    power_reduction: Optional[float] = None
+    area_increase: Optional[float] = None
+    slack_reduction: Optional[float] = None
+
+
+@dataclass
+class StyleComparison:
+    """A full Table-1/Table-2 style comparison."""
+
+    design_name: str
+    rows: List[StyleRow] = field(default_factory=list)
+    results: Dict[str, IsolationResult] = field(default_factory=dict)
+
+    def row(self, label: str) -> StyleRow:
+        for row in self.rows:
+            if row.label == label:
+                return row
+        raise KeyError(label)
+
+
+def compare_styles(
+    design: Design,
+    stimulus: StimulusSource,
+    config: Optional[IsolationConfig] = None,
+    library: Optional[TechnologyLibrary] = None,
+    styles: Optional[List[str]] = None,
+) -> StyleComparison:
+    """Run isolation once per style and tabulate paper-style rows."""
+    base_config = config or IsolationConfig()
+    library = library or default_library()
+    styles = styles or ["and", "or", "latch"]
+
+    comparison = StyleComparison(design_name=design.name)
+    baseline_row: Optional[StyleRow] = None
+    for style in styles:
+        import dataclasses
+
+        style_config = dataclasses.replace(base_config, style=style)
+        result = isolate_design(design, stimulus, style_config, library)
+        comparison.results[style] = result
+        if baseline_row is None:
+            baseline_row = StyleRow(
+                label="non-isolated",
+                power_mw=result.baseline.power_mw,
+                area=result.baseline.area,
+                slack=result.baseline.worst_slack,
+            )
+            comparison.rows.append(baseline_row)
+        label = {
+            "and": "AND-isolated",
+            "or": "OR-isolated",
+            "latch": "LAT-isolated",
+        }[style]
+        comparison.rows.append(
+            StyleRow(
+                label=label,
+                power_mw=result.final.power_mw,
+                area=result.final.area,
+                slack=result.final.worst_slack,
+                power_reduction=result.power_reduction,
+                area_increase=result.area_increase,
+                slack_reduction=result.slack_reduction,
+            )
+        )
+    return comparison
+
+
+def format_comparison_table(comparison: StyleComparison) -> str:
+    """Render a :class:`StyleComparison` like the paper's tables."""
+    lines = [
+        f"Design {comparison.design_name!r}: power / area / slack by isolation style",
+        f"{'':<14} {'Power[mW]':>10} {'%red':>8} {'Area[um2]':>12} {'%inc':>8} "
+        f"{'Slack[ns]':>10} {'%red':>8}",
+    ]
+    for row in comparison.rows:
+        power_pct = f"{row.power_reduction:+.1%}" if row.power_reduction is not None else "n/a"
+        area_pct = f"{row.area_increase:+.1%}" if row.area_increase is not None else "n/a"
+        slack_pct = (
+            f"{row.slack_reduction:+.1%}" if row.slack_reduction is not None else "n/a"
+        )
+        lines.append(
+            f"{row.label:<14} {row.power_mw:>10.4f} {power_pct:>8} "
+            f"{row.area:>12.0f} {area_pct:>8} {row.slack:>10.3f} {slack_pct:>8}"
+        )
+    return "\n".join(lines)

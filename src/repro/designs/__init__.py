@@ -1,0 +1,47 @@
+"""Benchmark designs.
+
+* :func:`paper_example` — the exact Figure 1/2 circuit of the paper (two
+  adders, three multiplexors, two enabled registers), used to validate
+  the activation-function derivation against the paper's own formulas.
+* :func:`design1` — analogue of the paper's *design1*: a datapath whose
+  first-stage activation signal is controllable from a primary input, so
+  activation statistics can be swept from the testbench (Section 6).
+* :func:`design2` — analogue of *design2*: a datapath block whose control
+  is generated internally by a small FSM; activation statistics are not
+  externally controllable.
+* :func:`fir_datapath` — FIR filter with a bypass mode (reused-IP
+  scenario from the introduction).
+* :func:`alu_control_dominated` — control-dominated design where the
+  arithmetic units are exercised in only a few FSM states.
+* :func:`shared_bus_datapath` — bus-style datapath with multi-fanout
+  registers, the structure on which Kapadia-style enable gating loses to
+  RTL operand isolation.
+* :func:`random_datapath` — seeded random DAG datapaths for property-
+  based testing.
+"""
+
+from repro.designs.paper_example import paper_example
+from repro.designs.design1 import design1
+from repro.designs.design2 import design2
+from repro.designs.fir import fir_datapath
+from repro.designs.alu_ctrl import alu_control_dominated
+from repro.designs.shared_bus import shared_bus_datapath
+from repro.designs.random_dp import random_datapath
+from repro.designs.pipeline import lookahead_pipeline
+from repro.designs.corr_chain import correlated_chain
+from repro.designs.cordic import cordic_pipeline
+from repro.designs.soc import soc_datapath
+
+__all__ = [
+    "lookahead_pipeline",
+    "correlated_chain",
+    "cordic_pipeline",
+    "soc_datapath",
+    "paper_example",
+    "design1",
+    "design2",
+    "fir_datapath",
+    "alu_control_dominated",
+    "shared_bus_datapath",
+    "random_datapath",
+]

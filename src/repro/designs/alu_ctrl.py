@@ -1,0 +1,70 @@
+"""Control-dominated ALU design.
+
+The paper's other motivating class: *"control-dominated designs with
+arithmetic operations that are used only in a few states, precluding
+their full utilization."* A four-state FSM (IDLE → LOAD → EXEC → STORE)
+sequences an ALU containing an adder, a subtractor and a multiplier.
+Only the EXEC state evaluates the ALU, and only one of the three units'
+results is steered to the result register (by the 2-bit ``OP`` input) —
+so each unit is non-redundant in roughly one quarter of one quarter of
+the cycles.
+
+The FSM is built structurally (state register + incrementer + comparator
+decode + hold mux on ``GO``), so its logic participates in the same
+activation analysis as the datapath.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.builder import DesignBuilder
+from repro.netlist.design import Design
+
+
+def alu_control_dominated(width: int = 16) -> Design:
+    """Build the FSM + ALU design with ``width``-bit operands."""
+    b = DesignBuilder("alu_ctrl")
+    a_in = b.input("A", width)
+    b_in = b.input("B", width)
+    op = b.input("OP", 2)
+    go = b.input("GO", 1)
+
+    from repro.netlist.seq import Register
+
+    # --- FSM: state register, advance-or-hold --------------------------
+    state_q = b.design.add_net("state_q", 2)
+    one = b.const(1, 2, name="c_one")
+    state_inc = b.add(state_q, one, name="state_inc", width=2)
+    idle_const = b.const(0, 2, name="c_idle")
+    is_idle = b.compare(state_q, idle_const, op="eq", name="is_idle")
+    # Advance when running, or when idle and GO asserted; else hold idle.
+    start = b.and_(go, is_idle, name="start")
+    running = b.not_(is_idle, name="running")
+    advance = b.or_(start, running, name="advance")
+    state_next = b.mux(advance, state_q, state_inc, name="m_state")
+    state = b.design.add_cell(Register("state"))
+    b.design.connect(state, "D", state_next)
+    b.design.connect(state, "Q", state_q)
+
+    ld_const = b.const(1, 2, name="c_load")
+    ex_const = b.const(2, 2, name="c_exec")
+    st_const = b.const(3, 2, name="c_store")
+    in_load = b.compare(state_q, ld_const, op="eq", name="in_load")
+    in_exec = b.compare(state_q, ex_const, op="eq", name="in_exec")
+    in_store = b.compare(state_q, st_const, op="eq", name="in_store")
+
+    # --- Operand registers (loaded in LOAD) -----------------------------
+    ra = b.register(a_in, enable=in_load, name="ra")
+    rb = b.register(b_in, enable=in_load, name="rb")
+
+    # --- ALU (evaluated in EXEC, unit picked by OP) ----------------------
+    alu_add = b.add(ra, rb, name="alu_add")
+    alu_sub = b.sub(ra, rb, name="alu_sub")
+    alu_mul = b.mul(ra, rb, name="alu_mul", width=width)
+    alu_out = b.mux(op, alu_add, alu_sub, alu_mul, alu_add, name="m_alu")
+    r_res = b.register(alu_out, enable=in_exec, name="r_res")
+
+    # --- Output stage (STORE) --------------------------------------------
+    r_out = b.register(r_res, enable=in_store, name="r_out")
+    b.output(r_out, "RESULT")
+    b.output(state_q, "STATE")
+    return b.build()

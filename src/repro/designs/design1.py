@@ -1,0 +1,72 @@
+"""design1: datapath with an externally controllable activation signal.
+
+Analogue of the paper's first industrial benchmark: *"the activation
+signal of the isolation candidates in the first combinational stage of
+the design could be controlled from a primary input. Thus, the
+relationship between power savings and the statistics of the activation
+signal could be investigated by applying stimuli with different signal
+statistics."*
+
+Structure (three pipeline stages plus an always-active utility path):
+
+* **stage 1** — two multipliers whose results are stored in registers
+  enabled by the primary input ``EN``; their derived activation signal
+  is therefore exactly ``EN``, sweepable from the testbench;
+* **stage 2** — adder and subtractor sharing the stage-1 results,
+  selected by ``S0`` into a register enabled by ``GA``;
+* **stage 3** — an accumulator adder, conditionally updated (``S1``,
+  ``GB``);
+* a register-and-XOR utility path that is always active, so the design
+  has a power floor that isolation cannot touch (keeping the reachable
+  reduction below 100 %, as in any real design).
+"""
+
+from __future__ import annotations
+
+from repro.netlist.builder import DesignBuilder
+from repro.netlist.design import Design
+
+
+def design1(width: int = 12) -> Design:
+    """Build design1 with ``width``-bit data inputs."""
+    b = DesignBuilder("design1")
+    x0 = b.input("X0", width)
+    x1 = b.input("X1", width)
+    x2 = b.input("X2", width)
+    x3 = b.input("X3", width)
+    en = b.input("EN", 1)
+    s0 = b.input("S0", 1)
+    s1 = b.input("S1", 1)
+    ga = b.input("GA", 1)
+    gb = b.input("GB", 1)
+
+    # Stage 1: multipliers gated (architecturally) by EN.
+    p0 = b.mul(x0, x1, name="mul0", width=width)
+    p1 = b.mul(x2, x3, name="mul1", width=width)
+    r0 = b.register(p0, enable=en, name="r0")
+    r1 = b.register(p1, enable=en, name="r1")
+
+    # Stage 2: add/sub selected by S0, stored under GA.
+    total = b.add(r0, r1, name="add0")
+    diff = b.sub(r0, r1, name="sub0")
+    picked = b.mux(s0, total, diff, name="m_stage2")
+    r2 = b.register(picked, enable=ga, name="r2")
+
+    # Stage 3: accumulator, conditionally updated under S1/GB.
+    acc_q = b.design.add_net("acc_q", width)
+    acc_sum = b.add(r2, acc_q, name="add1")
+    acc_next = b.mux(s1, r2, acc_sum, name="m_acc")
+    from repro.netlist.seq import Register
+
+    acc = b.design.add_cell(Register("acc", has_enable=True))
+    b.design.connect(acc, "D", acc_next)
+    b.design.connect(acc, "EN", gb)
+    b.design.connect(acc, "Q", acc_q)
+
+    # Always-active utility path (parity/tag pipeline).
+    tag = b.xor(x0, x2, name="tag_xor")
+    tag_q = b.register(tag, name="r_tag")
+
+    b.output(acc_q, "ACC_OUT")
+    b.output(tag_q, "TAG_OUT")
+    return b.build()

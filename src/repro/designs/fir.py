@@ -1,0 +1,51 @@
+"""FIR filter datapath with a bypass mode (reused-IP scenario).
+
+The paper's introduction motivates operand isolation with *"re-used
+designs of which only part of the functionality is being used"*. This
+generator builds a 4-tap transversal FIR filter whose output stage can
+bypass the filter entirely (``BYP = 1`` streams the input through).
+When the surrounding system keeps the filter in bypass most of the time,
+all four multipliers and the adder tree compute redundantly — the
+classic isolation win.
+
+The delay line always shifts (no enables), so its registers are a power
+floor isolation cannot remove.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.netlist.builder import DesignBuilder
+from repro.netlist.design import Design
+
+
+def fir_datapath(
+    width: int = 12, coefficients: Sequence[int] = (3, 7, 7, 3)
+) -> Design:
+    """Build the 4-tap FIR with the given (constant) coefficients."""
+    if len(coefficients) != 4:
+        raise ValueError("fir_datapath expects exactly 4 coefficients")
+    b = DesignBuilder("fir4")
+    x = b.input("X", width)
+    byp = b.input("BYP", 1)
+
+    # Delay line: x, x@-1, x@-2, x@-3 (always shifting).
+    taps = [x]
+    for k in range(1, 4):
+        taps.append(b.register(taps[-1], name=f"dly{k}"))
+
+    # Multiply-accumulate tree.
+    products = []
+    for k, (tap, coeff) in enumerate(zip(taps, coefficients)):
+        c = b.const(coeff, width, name=f"coef{k}")
+        products.append(b.mul(tap, c, name=f"fmul{k}", width=width))
+    s01 = b.add(products[0], products[1], name="fadd0")
+    s23 = b.add(products[2], products[3], name="fadd1")
+    total = b.add(s01, s23, name="fadd2")
+
+    # Output stage: bypass mux and output register.
+    y = b.mux(byp, total, x, name="m_byp")
+    y_q = b.register(y, name="r_y")
+    b.output(y_q, "Y")
+    return b.build()

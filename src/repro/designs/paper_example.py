@@ -1,0 +1,47 @@
+"""The paper's Figure 1 example circuit.
+
+Two adders ``a0`` and ``a1``, three multiplexors ``m0``/``m1``/``m2`` and
+two load-enabled registers ``r0``/``r1``, wired so that the derived
+activation functions match the paper's Section 3 result exactly::
+
+    AS_a0 = G0
+    AS_a1 = S2·G1 + S̄0·S1·G0
+
+``a1`` drives register ``r1`` through ``m2`` (selected when ``S2 = 1``)
+and feeds an input of ``a0`` through the mux chain ``m0`` (selected when
+``S0 = 0``) then ``m1`` (selected when ``S1 = 1``); ``a0`` drives
+register ``r0`` directly.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.builder import DesignBuilder
+from repro.netlist.design import Design
+
+
+def paper_example(width: int = 8) -> Design:
+    """Build the Figure 1 circuit with ``width``-bit operands."""
+    b = DesignBuilder("paper_fig1")
+    a_in = b.input("A", width)
+    b_in = b.input("B", width)
+    c_in = b.input("C", width)
+    s0 = b.input("S0", 1)
+    s1 = b.input("S1", 1)
+    s2 = b.input("S2", 1)
+    g0 = b.input("G0", 1)
+    g1 = b.input("G1", 1)
+
+    a1_out = b.add(b_in, c_in, name="a1")
+    # m0 passes a1 when S0 = 0, a fresh operand C otherwise.
+    m0_out = b.mux(s0, a1_out, c_in, name="m0")
+    # m1 passes the m0 path when S1 = 1, operand B otherwise.
+    m1_out = b.mux(s1, b_in, m0_out, name="m1")
+    a0_out = b.add(a_in, m1_out, name="a0")
+    # m2 passes a1 when S2 = 1, operand A otherwise.
+    m2_out = b.mux(s2, a_in, a1_out, name="m2")
+
+    r0_out = b.register(a0_out, enable=g0, name="r0")
+    r1_out = b.register(m2_out, enable=g1, name="r1")
+    b.output(r0_out, "OUT0")
+    b.output(r1_out, "OUT1")
+    return b.build()

@@ -1,0 +1,46 @@
+"""Pipelined datapath where only look-ahead activation can help.
+
+Stage 1 computes ``X·Y`` into a **free-running** pipeline register every
+cycle; stage 2 consumes the registered product only when the (also
+registered) control says so. Under the paper's baseline simplification
+(``f_r⁺ = 1``) the stage-1 multiplier is *always active* — its result is
+stored every cycle — so automated isolation finds nothing to do, even
+when the product is consumed in 10 % of cycles.
+
+With one round of structural look-ahead
+(:func:`repro.core.lookahead.derive_with_lookahead`), ``f_r⁺`` of the
+pipe register becomes the predicted next-cycle consumption condition —
+``SEL_IN·G_IN``, both sampled in front of their control registers — and
+the multiplier becomes isolable with its exact activation window.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.builder import DesignBuilder
+from repro.netlist.design import Design
+
+
+def lookahead_pipeline(width: int = 16) -> Design:
+    """Build the two-stage pipeline with registered control."""
+    b = DesignBuilder("lookahead_pipeline")
+    x = b.input("X", width)
+    y = b.input("Y", width)
+    sel_in = b.input("SEL_IN", 1)
+    g_in = b.input("G_IN", 1)
+
+    # Registered control: the cycle-t inputs steer cycle t+1's datapath.
+    sel_q = b.register(sel_in, name="r_sel")
+    g_q = b.register(g_in, name="r_gate")
+
+    # Stage 1: product into a free-running pipe register.
+    product = b.mul(x, y, name="pmul", width=width)
+    pipe_q = b.register(product, name="r_pipe")
+
+    # A parallel operand pipeline (the mux alternative).
+    alt_q = b.register(x, name="r_alt")
+
+    # Stage 2: consume the product only when selected and gated.
+    picked = b.mux(sel_q, alt_q, pipe_q, name="m_stage2")
+    out_q = b.register(picked, enable=g_q, name="r_out")
+    b.output(out_q, "OUT")
+    return b.build()

@@ -1,0 +1,47 @@
+"""Shared-bus datapath with multi-fanout source registers.
+
+This is the structure on which register-enable gating (Kapadia et al.
+[4], the paper's Section 2 comparison) is fundamentally limited: the
+source registers ``rA``/``rB`` each feed **multiple** consumers (the
+shared operand bus *and* a live debug/observation port), so their load
+enables cannot be gated for the benefit of one idle consumer without
+corrupting the others. RTL operand isolation gates at the *module
+inputs* instead and is unaffected.
+
+Consumers: a multiplier and an adder hanging off the operand bus, each
+storing its result under its own strobe (``G0``/``G1``); a consumer is
+redundant whenever its strobe is low or the bus is steered away from it.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.builder import DesignBuilder
+from repro.netlist.design import Design
+
+
+def shared_bus_datapath(width: int = 16) -> Design:
+    """Build the shared-bus design with ``width``-bit operands."""
+    b = DesignBuilder("shared_bus")
+    a_in = b.input("A", width)
+    b_in = b.input("B", width)
+    k_in = b.input("K", width)
+    sel = b.input("SEL", 1)
+    g0 = b.input("G0", 1)
+    g1 = b.input("G1", 1)
+
+    # Source registers load every cycle and fan out to the bus AND to a
+    # live observation port (the multi-fanout that defeats enable gating).
+    ra = b.register(a_in, name="rA")
+    rb = b.register(b_in, name="rB")
+    b.output(ra, "A_MON")
+
+    bus = b.mux(sel, ra, rb, name="m_bus")
+
+    # Consumers on the bus.
+    prod = b.mul(bus, k_in, name="bmul", width=width)
+    total = b.add(bus, k_in, name="badd")
+    r_prod = b.register(prod, enable=g0, name="r_prod")
+    r_sum = b.register(total, enable=g1, name="r_sum")
+    b.output(r_prod, "PROD")
+    b.output(r_sum, "SUM")
+    return b.build()

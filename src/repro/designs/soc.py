@@ -1,0 +1,33 @@
+"""SoC-scale composite benchmark: several subsystems in one netlist.
+
+Flattens a design1-style datapath, the FSM-controlled design2 block, the
+bypassable FIR and a CORDIC pipeline into one design via
+:func:`repro.netlist.compose.merge_designs`, with one shared ``SYS_EN``
+strobe driving design1's stage enable and the CORDIC valid. The result
+has dozens of isolation candidates across many combinational blocks —
+the scale at which Algorithm 1's per-block iteration and the O(|V|+|E|)
+activation derivation earn their keep.
+"""
+
+from __future__ import annotations
+
+from repro.designs.cordic import cordic_pipeline
+from repro.designs.design1 import design1
+from repro.designs.design2 import design2
+from repro.designs.fir import fir_datapath
+from repro.netlist.compose import merge_designs
+from repro.netlist.design import Design
+
+
+def soc_datapath(width: int = 12) -> Design:
+    """Build the composite system."""
+    return merge_designs(
+        "soc",
+        {
+            "dp": design1(width=width),
+            "fsm": design2(width=width),
+            "fir": fir_datapath(width=width),
+            "rot": cordic_pipeline(width=width, stages=3),
+        },
+        shared_inputs={"SYS_EN": [("dp", "EN"), ("rot", "VALID")]},
+    )

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single type at an API boundary. Subsystems raise the
+more specific subclasses below.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class NetlistError(ReproError):
+    """Structural problem in a netlist (bad connection, duplicate name...)."""
+
+
+class WidthMismatchError(NetlistError):
+    """A port was connected to a net of incompatible bit width."""
+
+
+class ValidationError(NetlistError):
+    """A design failed structural validation (loops, floating pins...)."""
+
+
+class SimulationError(ReproError):
+    """The simulator was asked to do something impossible."""
+
+
+class StimulusError(SimulationError):
+    """A stimulus generator was configured inconsistently."""
+
+
+class BooleanError(ReproError):
+    """Malformed Boolean expression or BDD operation."""
+
+
+class TimingError(ReproError):
+    """Static timing analysis failed (e.g. no clock period given)."""
+
+
+class PowerModelError(ReproError):
+    """A power model was queried for an unknown cell or pin."""
+
+
+class IsolationError(ReproError):
+    """Operand isolation could not be applied to a candidate."""
+
+
+class EquivalenceError(ReproError):
+    """Two designs that should be observably equivalent are not."""

@@ -1,0 +1,85 @@
+"""RT-level structural netlist substrate.
+
+This package models register-transfer-level designs as a graph of *cells*
+(arithmetic modules, multiplexors, registers, latches, logic gates, ports)
+connected by *nets* (multi-bit buses). It is the foundation every other
+subsystem builds on: the simulator evaluates it, the power and timing
+engines annotate it, and the operand-isolation core rewrites it.
+"""
+
+from repro.netlist.nets import Net
+from repro.netlist.cells import Cell, Pin, PortDir, PortSpec
+from repro.netlist.logic import (
+    AndGate,
+    BitSelect,
+    Buffer,
+    Mux,
+    NandGate,
+    NorGate,
+    NotGate,
+    OrGate,
+    XnorGate,
+    XorGate,
+)
+from repro.netlist.arith import (
+    Adder,
+    ArithModule,
+    Comparator,
+    Divider,
+    MacUnit,
+    Multiplier,
+    Shifter,
+    Subtractor,
+)
+from repro.netlist.seq import Register, TransparentLatch
+from repro.netlist.ports import Constant, PrimaryInput, PrimaryOutput
+from repro.netlist.banks import AndBank, LatchBank, OrBank
+from repro.netlist.design import Design
+from repro.netlist.builder import DesignBuilder
+from repro.netlist.partition import CombinationalBlock, partition_blocks
+from repro.netlist.traversal import (
+    combinational_order,
+    transitive_fanin_cells,
+    transitive_fanout_cells,
+)
+
+__all__ = [
+    "Net",
+    "Cell",
+    "Pin",
+    "PortDir",
+    "PortSpec",
+    "AndGate",
+    "OrGate",
+    "NotGate",
+    "XorGate",
+    "NandGate",
+    "NorGate",
+    "XnorGate",
+    "Buffer",
+    "BitSelect",
+    "Mux",
+    "ArithModule",
+    "Adder",
+    "Subtractor",
+    "Multiplier",
+    "Comparator",
+    "Shifter",
+    "MacUnit",
+    "Divider",
+    "Register",
+    "TransparentLatch",
+    "PrimaryInput",
+    "PrimaryOutput",
+    "Constant",
+    "AndBank",
+    "OrBank",
+    "LatchBank",
+    "Design",
+    "DesignBuilder",
+    "CombinationalBlock",
+    "partition_blocks",
+    "combinational_order",
+    "transitive_fanin_cells",
+    "transitive_fanout_cells",
+]

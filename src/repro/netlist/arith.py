@@ -1,0 +1,205 @@
+"""Arithmetic datapath modules: the operand-isolation candidates.
+
+Every class here sets ``is_datapath_module = True``, marking it as an
+*isolation candidate* in the sense of the paper: a complex operator whose
+redundant computations are worth suppressing. Each module also reports a
+``complexity`` weight used by the technology library to scale internal
+switched capacitance (a multiplier toggles far more internal nodes per
+input toggle than an adder does).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.errors import NetlistError
+from repro.netlist.cells import Cell, PortDir, PortSpec
+
+
+class ArithModule(Cell):
+    """Base class for arithmetic operators with operand inputs and one output.
+
+    Subclasses define ``OPERANDS`` (input port names) and implement
+    :meth:`_compute`. The standard output port is ``Y``.
+    """
+
+    is_datapath_module = True
+    OPERANDS: Sequence[str] = ("A", "B")
+    #: Relative internal-activity weight (adder == 1.0).
+    complexity: float = 1.0
+    kind = "arith"
+
+    def port_specs(self) -> Sequence[PortSpec]:
+        specs = [PortSpec(p, PortDir.IN) for p in self.OPERANDS]
+        specs.append(PortSpec("Y", PortDir.OUT))
+        return tuple(specs)
+
+    def port_width(self, port: str) -> Optional[int]:
+        # Default: operands share one width; output width free (checked
+        # per subclass where it matters).
+        self.port_spec(port)
+        if port in self.OPERANDS:
+            for other in self.OPERANDS:
+                if other != port and self.is_connected(other):
+                    return self.net(other).width
+        return None
+
+    def _compute(self, inputs: Mapping[str, int]) -> int:
+        raise NotImplementedError
+
+    def evaluate(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        return {"Y": self.net("Y").clip(self._compute(inputs))}
+
+    @property
+    def width(self) -> int:
+        """Operand bit width (for library lookups)."""
+        return self.net(self.OPERANDS[0]).width
+
+
+class Adder(ArithModule):
+    """Unsigned adder, Y = (A + B) mod 2**width(Y)."""
+
+    complexity = 1.0
+    kind = "add"
+
+    def _compute(self, inputs: Mapping[str, int]) -> int:
+        return inputs["A"] + inputs["B"]
+
+
+class Subtractor(ArithModule):
+    """Unsigned subtractor, Y = (A - B) mod 2**width(Y)."""
+
+    complexity = 1.0
+    kind = "sub"
+
+    def _compute(self, inputs: Mapping[str, int]) -> int:
+        return inputs["A"] - inputs["B"]
+
+
+class Multiplier(ArithModule):
+    """Unsigned array multiplier, Y = (A * B) truncated to width(Y)."""
+
+    complexity = 6.0
+    kind = "mul"
+
+    def _compute(self, inputs: Mapping[str, int]) -> int:
+        return inputs["A"] * inputs["B"]
+
+
+class Comparator(ArithModule):
+    """Magnitude comparator producing a one-bit result.
+
+    ``op`` selects the relation: one of ``"eq" | "ne" | "lt" | "le" |
+    "gt" | "ge"`` (unsigned).
+    """
+
+    complexity = 0.6
+    kind = "cmp"
+    _OPS = {
+        "eq": lambda a, b: a == b,
+        "ne": lambda a, b: a != b,
+        "lt": lambda a, b: a < b,
+        "le": lambda a, b: a <= b,
+        "gt": lambda a, b: a > b,
+        "ge": lambda a, b: a >= b,
+    }
+
+    def __init__(self, name: str, op: str = "lt") -> None:
+        if op not in self._OPS:
+            raise NetlistError(f"comparator {name!r}: unknown op {op!r}")
+        self.op = op
+        super().__init__(name)
+
+    def port_width(self, port: str) -> Optional[int]:
+        if port == "Y":
+            return 1
+        return super().port_width(port)
+
+    def _compute(self, inputs: Mapping[str, int]) -> int:
+        return int(self._OPS[self.op](inputs["A"], inputs["B"]))
+
+
+class Shifter(ArithModule):
+    """Barrel shifter: Y = A shifted by B bits (``direction`` 'left'/'right')."""
+
+    complexity = 1.5
+    kind = "shift"
+
+    def __init__(self, name: str, direction: str = "left") -> None:
+        if direction not in ("left", "right"):
+            raise NetlistError(f"shifter {name!r}: bad direction {direction!r}")
+        self.direction = direction
+        super().__init__(name)
+
+    def port_width(self, port: str) -> Optional[int]:
+        # Shift amount B may be narrower than A; no shared-width rule.
+        self.port_spec(port)
+        return None
+
+    def _compute(self, inputs: Mapping[str, int]) -> int:
+        amount = inputs["B"]
+        if self.direction == "left":
+            return inputs["A"] << amount
+        return inputs["A"] >> amount
+
+
+class MacUnit(ArithModule):
+    """Multiply-accumulate: Y = (A * B + C) truncated to width(Y)."""
+
+    OPERANDS = ("A", "B", "C")
+    complexity = 7.0
+    kind = "mac"
+
+    def port_width(self, port: str) -> Optional[int]:
+        # A and B share a width; C and Y are free.
+        self.port_spec(port)
+        if port in ("A", "B"):
+            other = "B" if port == "A" else "A"
+            if self.is_connected(other):
+                return self.net(other).width
+        return None
+
+    def _compute(self, inputs: Mapping[str, int]) -> int:
+        return inputs["A"] * inputs["B"] + inputs["C"]
+
+
+class Divider(ArithModule):
+    """Unsigned divider with two outputs: quotient ``Y`` and remainder ``R``.
+
+    The multi-output module of the paper's "straightforward extension"
+    remark (Section 4): activation is the OR of both outputs'
+    observability, and fanin/fanout links are tracked per output net.
+    Division by zero yields an all-ones quotient and passes the dividend
+    through as the remainder (the common hardware convention).
+    """
+
+    complexity = 10.0
+    kind = "divmod"
+
+    def port_specs(self) -> Sequence[PortSpec]:
+        return (
+            PortSpec("A", PortDir.IN),
+            PortSpec("B", PortDir.IN),
+            PortSpec("Y", PortDir.OUT),
+            PortSpec("R", PortDir.OUT),
+        )
+
+    def evaluate(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        divisor = inputs["B"]
+        if divisor == 0:
+            quotient = self.net("Y").mask
+            remainder = inputs["A"]
+        else:
+            quotient, remainder = divmod(inputs["A"], divisor)
+        return {
+            "Y": self.net("Y").clip(quotient),
+            "R": self.net("R").clip(remainder),
+        }
+
+
+def arith_kinds() -> List[str]:
+    """Kind tags of all built-in arithmetic modules (for library setup)."""
+    return [
+        cls.kind
+        for cls in (Adder, Subtractor, Multiplier, Comparator, Shifter, MacUnit, Divider)
+    ]

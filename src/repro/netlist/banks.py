@@ -1,0 +1,100 @@
+"""Isolation banks: the blocking circuitry inserted at module inputs.
+
+An isolation bank sits between the fanin logic network and one operand
+input of an isolated module (paper Section 5.2). All banks share the same
+interface and enable polarity:
+
+* ``D``  — data input (the original operand net),
+* ``EN`` — one-bit activation signal, **high = pass** (non-redundant op),
+* ``Y``  — gated operand delivered to the module.
+
+Styles:
+
+* :class:`AndBank` — ``Y = D & EN`` bitwise; forces zeros when idle.
+* :class:`OrBank` — ``Y = D | ~EN`` bitwise; forces ones when idle.
+* :class:`LatchBank` — transparent latches, ``Y`` follows ``D`` while
+  ``EN`` is high and freezes the last operand when idle. Unlike the gate
+  banks, the operand does not transition at all on entry to an idle
+  period (no "first idle cycle" toggle), at the cost of latch area and
+  per-cycle latch power.
+
+For activation-function derivation, a toggle at ``D`` is observable at
+``Y`` exactly when ``EN`` is high — the same condition for all styles —
+so re-running the derivation on an already-isolated netlist composes
+correctly across iterations of the algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.netlist.cells import Cell, PortDir, PortSpec
+
+
+class _BankBase(Cell):
+    """Shared port interface for isolation banks."""
+
+    is_isolation_bank = True
+
+    def port_specs(self) -> Sequence[PortSpec]:
+        return (
+            PortSpec("D", PortDir.IN),
+            PortSpec("EN", PortDir.IN, is_control=True),
+            PortSpec("Y", PortDir.OUT),
+        )
+
+    def port_width(self, port: str) -> Optional[int]:
+        self.port_spec(port)
+        if port == "EN":
+            return 1
+        other = "Y" if port == "D" else "D"
+        return self.net(other).width if self.is_connected(other) else None
+
+
+class AndBank(_BankBase):
+    """AND-gate isolation: zeros are forced onto the operand when idle."""
+
+    kind = "andbank"
+
+    def evaluate(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        y = self.net("Y")
+        mask = y.mask if inputs["EN"] else 0
+        return {"Y": inputs["D"] & mask}
+
+
+class OrBank(_BankBase):
+    """OR-gate isolation: ones are forced onto the operand when idle."""
+
+    kind = "orbank"
+
+    def evaluate(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        y = self.net("Y")
+        force = 0 if inputs["EN"] else y.mask
+        return {"Y": (inputs["D"] | force) & y.mask}
+
+
+class LatchBank(_BankBase):
+    """Transparent-latch isolation: the operand freezes when idle.
+
+    State-holding like :class:`~repro.netlist.seq.TransparentLatch` but
+    with the bank interface; the simulator treats any cell with
+    ``has_state`` and without ``is_sequential`` as an in-block latch.
+    """
+
+    kind = "latbank"
+    has_state = True
+    is_transparent = True
+
+    def __init__(self, name: str, reset_value: int = 0) -> None:
+        self.reset_value = reset_value
+        super().__init__(name)
+
+    def output_value(self, state: int, inputs: Mapping[str, int]) -> int:
+        if inputs["EN"]:
+            return self.net("Y").clip(inputs["D"])
+        return state
+
+    def next_state(self, state: int, inputs: Mapping[str, int]) -> int:
+        if inputs["EN"]:
+            return self.net("Y").clip(inputs["D"])
+        return state

@@ -1,0 +1,118 @@
+"""Bit references: naming single bits of multi-bit control nets.
+
+Activation and multiplexing functions are Boolean functions whose
+variables are one-bit signals. Most control nets (register enables,
+2-way mux selects) are one bit wide and are referenced by their net name.
+An n-way mux, however, has a ``ceil(log2 n)``-bit select; its steering
+conditions need individual select *bits*, which we name with the
+canonical syntax ``netname[k]``.
+
+This module is the single owner of that syntax: parsing, environment
+sampling (for probes and monitors) and materialisation as nets (for
+activation-logic synthesis, via :class:`repro.netlist.logic.BitSelect`
+cells, reused when one already exists).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.errors import NetlistError
+from repro.netlist.design import Design
+from repro.netlist.nets import Net
+
+_BITREF_RE = re.compile(r"^(?P<net>.+)\[(?P<bit>\d+)\]$")
+
+
+def format_bitref(net: Net, bit: Optional[int] = None) -> str:
+    """Canonical variable name for ``net`` (bit ``bit`` of it, if given)."""
+    if bit is None:
+        if net.width != 1:
+            raise NetlistError(
+                f"net {net.name!r} is {net.width} bits wide; a bit index is required"
+            )
+        return net.name
+    if not 0 <= bit < net.width:
+        raise NetlistError(f"bit {bit} out of range for net {net.name!r} ({net.width} bits)")
+    return f"{net.name}[{bit}]"
+
+
+def parse_bitref(design: Design, name: str) -> Tuple[Net, int]:
+    """Resolve a variable name to ``(net, bit)``.
+
+    Plain names resolve to bit 0 of a one-bit net; ``name[k]`` resolves
+    bit ``k`` of a wider net. Prefers an exact net-name match, so a net
+    literally named ``"x[3]"`` (which the library never creates, but a
+    loaded netlist might contain) still resolves.
+    """
+    if design.has_net(name):
+        net = design.net(name)
+        if net.width != 1:
+            raise NetlistError(
+                f"control variable {name!r} refers to a {net.width}-bit net; "
+                "use an explicit bit reference like 'name[0]'"
+            )
+        return net, 0
+    match = _BITREF_RE.match(name)
+    if match:
+        net = design.net(match.group("net"))
+        bit = int(match.group("bit"))
+        if not 0 <= bit < net.width:
+            raise NetlistError(
+                f"bit {bit} out of range for net {net.name!r} ({net.width} bits)"
+            )
+        return net, bit
+    raise NetlistError(f"cannot resolve control variable {name!r}")
+
+
+def resolve_variables(
+    design: Design, names: Iterable[str]
+) -> Dict[str, Tuple[Net, int]]:
+    """Resolve many variable names at once."""
+    return {name: parse_bitref(design, name) for name in names}
+
+
+def sample_env(
+    resolved: Mapping[str, Tuple[Net, int]], values: Mapping[Net, int]
+) -> Dict[str, int]:
+    """Extract the variables' truth values from settled net values."""
+    return {
+        name: (values[net] >> bit) & 1 for name, (net, bit) in resolved.items()
+    }
+
+
+def materialize_variable_nets(
+    design: Design, names: Iterable[str]
+) -> Dict[str, Net]:
+    """One-bit nets carrying each variable, creating BitSelect cells as needed.
+
+    Plain one-bit variables map to their net directly. Bit references get
+    a :class:`~repro.netlist.logic.BitSelect` tap; an existing tap of the
+    same net/bit is reused so repeated isolation passes do not pile up
+    extract cells.
+    """
+    from repro.netlist.logic import BitSelect
+
+    result: Dict[str, Net] = {}
+    for name in names:
+        net, bit = parse_bitref(design, name)
+        if net.width == 1:
+            result[name] = net
+            continue
+        existing = None
+        for pin in net.readers:
+            cell = pin.cell
+            if isinstance(cell, BitSelect) and cell.bit == bit and pin.port == "A":
+                existing = cell.net("Y")
+                break
+        if existing is not None:
+            result[name] = existing
+            continue
+        cell_name = design.fresh_cell_name(f"bitsel_{net.name}_{bit}")
+        cell = design.add_cell(BitSelect(cell_name, bit))
+        design.connect(cell, "A", net)
+        out = design.add_net(design.fresh_net_name(cell_name), 1)
+        design.connect(cell, "Y", out)
+        result[name] = out
+    return result

@@ -1,0 +1,243 @@
+"""Fluent construction API for designs.
+
+:class:`DesignBuilder` wraps a :class:`~repro.netlist.design.Design` with
+methods that create a cell, wire its inputs, allocate its output net and
+return that net — so structural descriptions read like dataflow:
+
+>>> b = DesignBuilder("example")
+>>> a, c = b.input("A", 8), b.input("C", 8)
+>>> s = b.input("S", 1)
+>>> total = b.add(a, c, name="a0")
+>>> picked = b.mux(s, total, c)
+>>> q = b.register(picked, enable=b.input("G", 1), name="r0")
+>>> _ = b.output(q, "OUT")
+>>> design = b.build()
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import NetlistError
+from repro.netlist.arith import (
+    Adder,
+    Comparator,
+    Divider,
+    MacUnit,
+    Multiplier,
+    Shifter,
+    Subtractor,
+)
+from repro.netlist.cells import Cell
+from repro.netlist.design import Design
+from repro.netlist.logic import (
+    AndGate,
+    Buffer,
+    Mux,
+    NandGate,
+    NorGate,
+    NotGate,
+    OrGate,
+    XnorGate,
+    XorGate,
+)
+from repro.netlist.nets import Net
+from repro.netlist.ports import Constant, PrimaryInput, PrimaryOutput
+from repro.netlist.seq import Register, TransparentLatch
+
+
+class DesignBuilder:
+    """Incrementally builds a :class:`Design`; every method returns nets."""
+
+    def __init__(self, name: str) -> None:
+        self.design = Design(name)
+
+    # ------------------------------------------------------------------
+    # Boundary
+    # ------------------------------------------------------------------
+    def input(self, name: str, width: int = 1) -> Net:
+        """Add primary input ``name`` and return the net it drives."""
+        cell = self.design.add_cell(PrimaryInput(name))
+        net = self.design.add_net(self._net_name(name), width)
+        self.design.connect(cell, "Y", net)
+        return net
+
+    def output(self, net: Net, name: str) -> Net:
+        """Expose ``net`` as primary output ``name``."""
+        cell = self.design.add_cell(PrimaryOutput(name))
+        self.design.connect(cell, "A", net)
+        return net
+
+    def const(self, value: int, width: int, name: Optional[str] = None) -> Net:
+        """A constant driver of ``value``."""
+        cname = name or self.design.fresh_cell_name("const")
+        cell = self.design.add_cell(Constant(cname, value))
+        net = self.design.add_net(self._net_name(cname), width)
+        self.design.connect(cell, "Y", net)
+        return net
+
+    # ------------------------------------------------------------------
+    # Arithmetic modules (isolation candidates)
+    # ------------------------------------------------------------------
+    def add(self, a: Net, b: Net, name: Optional[str] = None, width: Optional[int] = None) -> Net:
+        return self._binop(Adder, a, b, name, width or a.width)
+
+    def sub(self, a: Net, b: Net, name: Optional[str] = None, width: Optional[int] = None) -> Net:
+        return self._binop(Subtractor, a, b, name, width or a.width)
+
+    def mul(self, a: Net, b: Net, name: Optional[str] = None, width: Optional[int] = None) -> Net:
+        return self._binop(Multiplier, a, b, name, width or a.width + b.width)
+
+    def compare(self, a: Net, b: Net, op: str = "lt", name: Optional[str] = None) -> Net:
+        cname = name or self.design.fresh_cell_name("cmp")
+        cell = self.design.add_cell(Comparator(cname, op=op))
+        return self._wire_module(cell, {"A": a, "B": b}, 1)
+
+    def shift(
+        self,
+        a: Net,
+        amount: Net,
+        direction: str = "left",
+        name: Optional[str] = None,
+        width: Optional[int] = None,
+    ) -> Net:
+        cname = name or self.design.fresh_cell_name("shift")
+        cell = self.design.add_cell(Shifter(cname, direction=direction))
+        return self._wire_module(cell, {"A": a, "B": amount}, width or a.width)
+
+    def mac(
+        self,
+        a: Net,
+        b: Net,
+        c: Net,
+        name: Optional[str] = None,
+        width: Optional[int] = None,
+    ) -> Net:
+        cname = name or self.design.fresh_cell_name("mac")
+        cell = self.design.add_cell(MacUnit(cname))
+        return self._wire_module(cell, {"A": a, "B": b, "C": c}, width or c.width)
+
+    def divmod_(self, a: Net, b: Net, name: Optional[str] = None):
+        """Divider; returns the (quotient, remainder) net pair."""
+        cname = name or self.design.fresh_cell_name("divmod")
+        cell = self.design.add_cell(Divider(cname))
+        self.design.connect(cell, "A", a)
+        self.design.connect(cell, "B", b)
+        quotient = self.design.add_net(self._net_name(f"{cname}_q"), a.width)
+        remainder = self.design.add_net(self._net_name(f"{cname}_r"), a.width)
+        self.design.connect(cell, "Y", quotient)
+        self.design.connect(cell, "R", remainder)
+        return quotient, remainder
+
+    # ------------------------------------------------------------------
+    # Steering and glue logic
+    # ------------------------------------------------------------------
+    def mux(self, select: Net, *inputs: Net, name: Optional[str] = None) -> Net:
+        """N-way mux over ``inputs`` steered by ``select``."""
+        if len(inputs) < 2:
+            raise NetlistError("mux needs at least two data inputs")
+        cname = name or self.design.fresh_cell_name("mux")
+        cell = self.design.add_cell(Mux(cname, n_inputs=len(inputs)))
+        for i, net in enumerate(inputs):
+            self.design.connect(cell, f"D{i}", net)
+        self.design.connect(cell, "S", select)
+        out = self.design.add_net(self._net_name(cname), inputs[0].width)
+        self.design.connect(cell, "Y", out)
+        return out
+
+    def and_(self, a: Net, b: Net, name: Optional[str] = None) -> Net:
+        return self._binop(AndGate, a, b, name, a.width)
+
+    def or_(self, a: Net, b: Net, name: Optional[str] = None) -> Net:
+        return self._binop(OrGate, a, b, name, a.width)
+
+    def nand(self, a: Net, b: Net, name: Optional[str] = None) -> Net:
+        return self._binop(NandGate, a, b, name, a.width)
+
+    def nor(self, a: Net, b: Net, name: Optional[str] = None) -> Net:
+        return self._binop(NorGate, a, b, name, a.width)
+
+    def xor(self, a: Net, b: Net, name: Optional[str] = None) -> Net:
+        return self._binop(XorGate, a, b, name, a.width)
+
+    def xnor(self, a: Net, b: Net, name: Optional[str] = None) -> Net:
+        return self._binop(XnorGate, a, b, name, a.width)
+
+    def not_(self, a: Net, name: Optional[str] = None) -> Net:
+        cname = name or self.design.fresh_cell_name("not")
+        cell = self.design.add_cell(NotGate(cname))
+        return self._wire_module(cell, {"A": a}, a.width)
+
+    def buf(self, a: Net, name: Optional[str] = None) -> Net:
+        cname = name or self.design.fresh_cell_name("buf")
+        cell = self.design.add_cell(Buffer(cname))
+        return self._wire_module(cell, {"A": a}, a.width)
+
+    # ------------------------------------------------------------------
+    # Sequential
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        data: Net,
+        enable: Optional[Net] = None,
+        name: Optional[str] = None,
+        reset_value: int = 0,
+    ) -> Net:
+        """Edge-triggered register; returns its Q net."""
+        cname = name or self.design.fresh_cell_name("reg")
+        cell = self.design.add_cell(
+            Register(cname, has_enable=enable is not None, reset_value=reset_value)
+        )
+        self.design.connect(cell, "D", data)
+        if enable is not None:
+            self.design.connect(cell, "EN", enable)
+        out = self.design.add_net(self._net_name(cname), data.width)
+        self.design.connect(cell, "Q", out)
+        return out
+
+    def latch(self, data: Net, gate: Net, name: Optional[str] = None) -> Net:
+        """Transparent latch; returns its Q net."""
+        cname = name or self.design.fresh_cell_name("lat")
+        cell = self.design.add_cell(TransparentLatch(cname))
+        self.design.connect(cell, "D", data)
+        self.design.connect(cell, "G", gate)
+        out = self.design.add_net(self._net_name(cname), data.width)
+        self.design.connect(cell, "Q", out)
+        return out
+
+    # ------------------------------------------------------------------
+    def build(self, validate: bool = True) -> Design:
+        """Finish construction, optionally running structural validation."""
+        if validate:
+            from repro.netlist.validate import validate_design
+
+            validate_design(self.design)
+        return self.design
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _net_name(self, base: str) -> str:
+        name = base
+        if self.design.has_net(name):
+            name = self.design.fresh_net_name(base)
+        return name
+
+    def _binop(
+        self,
+        cls: type,
+        a: Net,
+        b: Net,
+        name: Optional[str],
+        out_width: int,
+    ) -> Net:
+        cname = name or self.design.fresh_cell_name(cls.kind)
+        cell = self.design.add_cell(cls(cname))
+        return self._wire_module(cell, {"A": a, "B": b}, out_width)
+
+    def _wire_module(self, cell: Cell, inputs: dict, out_width: int) -> Net:
+        for port, net in inputs.items():
+            self.design.connect(cell, port, net)
+        out = self.design.add_net(self._net_name(cell.name), out_width)
+        self.design.connect(cell, "Y", out)
+        return out

@@ -1,0 +1,211 @@
+"""Cell base classes: the vertices of an RT-level netlist.
+
+A :class:`Cell` is an instance of some RT component (adder, mux, register,
+gate, port...). Cells declare their interface as an ordered list of
+:class:`PortSpec` entries; the design connects each port to a
+:class:`~repro.netlist.nets.Net`, producing a :class:`Pin` (a concrete
+cell/port/net binding).
+
+Combinational cells implement :meth:`Cell.evaluate`, mapping input values
+to output values; sequential cells (registers, latches) are evaluated by
+the simulation engine instead, which owns their state.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import NetlistError, WidthMismatchError
+from repro.netlist.nets import Net
+
+
+class PortDir(enum.Enum):
+    """Direction of a cell port."""
+
+    IN = "in"
+    OUT = "out"
+
+
+@dataclass(frozen=True)
+class PortSpec:
+    """Static description of one port of a cell type.
+
+    Attributes
+    ----------
+    name:
+        Port name, unique within the cell.
+    direction:
+        :attr:`PortDir.IN` or :attr:`PortDir.OUT`.
+    is_control:
+        True for ports that *steer* the cell rather than carry data
+        (mux selects, register enables, isolation-bank enables). The
+        activation-function derivation treats toggles on control ports
+        as always observable and never traverses through them.
+    """
+
+    name: str
+    direction: PortDir
+    is_control: bool = False
+
+
+@dataclass(frozen=True)
+class Pin:
+    """A concrete binding of one cell port to a net."""
+
+    cell: "Cell"
+    port: str
+    net: Net
+
+    @property
+    def direction(self) -> PortDir:
+        return self.cell.port_spec(self.port).direction
+
+    @property
+    def is_control(self) -> bool:
+        return self.cell.port_spec(self.port).is_control
+
+    def __repr__(self) -> str:
+        return f"Pin({self.cell.name}.{self.port} -> {self.net.name})"
+
+
+class Cell:
+    """Base class for every netlist component.
+
+    Subclasses must define :meth:`port_specs` (their interface) and, for
+    combinational cells, :meth:`evaluate`. Class attributes classify the
+    cell for the analysis engines:
+
+    * ``is_sequential`` — registers/latches; bound combinational blocks.
+    * ``is_datapath_module`` — complex arithmetic operators; these are the
+      operand-isolation candidates of the paper.
+    * ``kind`` — short type tag used by the technology library to look up
+      area/delay/energy parameters.
+    """
+
+    is_sequential: bool = False
+    is_datapath_module: bool = False
+    kind: str = "cell"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._conn: Dict[str, Net] = {}
+        self._specs: Dict[str, PortSpec] = {s.name: s for s in self.port_specs()}
+        if not self._specs:
+            raise NetlistError(f"cell {name!r} declares no ports")
+
+    # ------------------------------------------------------------------
+    # Interface declaration
+    # ------------------------------------------------------------------
+    def port_specs(self) -> Sequence[PortSpec]:
+        """Ordered port interface of this cell type."""
+        raise NotImplementedError
+
+    def port_spec(self, port: str) -> PortSpec:
+        try:
+            return self._specs[port]
+        except KeyError:
+            raise NetlistError(f"cell {self.name!r} has no port {port!r}") from None
+
+    def port_width(self, port: str) -> Optional[int]:
+        """Required net width for ``port``, or None if any width is fine.
+
+        The default implementation imposes no constraint; subclasses
+        override to enforce e.g. one-bit selects or equal operand widths.
+        """
+        self.port_spec(port)
+        return None
+
+    # ------------------------------------------------------------------
+    # Connection bookkeeping (called by Design.connect)
+    # ------------------------------------------------------------------
+    def bind(self, port: str, net: Net) -> None:
+        """Record ``net`` as the connection of ``port`` (no driver checks)."""
+        spec = self.port_spec(port)
+        required = self.port_width(port)
+        if required is not None and net.width != required:
+            raise WidthMismatchError(
+                f"{self.name}.{port} requires width {required}, "
+                f"net {net.name!r} has width {net.width}"
+            )
+        if port in self._conn:
+            raise NetlistError(f"{self.name}.{port} is already connected")
+        self._conn[port] = net
+        pin = Pin(self, spec.name, net)
+        if spec.direction is PortDir.OUT:
+            if net.driver is not None:
+                raise NetlistError(
+                    f"net {net.name!r} already driven by "
+                    f"{net.driver.cell.name}.{net.driver.port}"
+                )
+            net.driver = pin
+        else:
+            net.readers.append(pin)
+
+    def net(self, port: str) -> Net:
+        """Net connected to ``port`` (raises if unconnected)."""
+        try:
+            return self._conn[port]
+        except KeyError:
+            raise NetlistError(f"{self.name}.{port} is not connected") from None
+
+    def is_connected(self, port: str) -> bool:
+        return port in self._conn
+
+    @property
+    def input_pins(self) -> List[Pin]:
+        return [
+            Pin(self, p, n)
+            for p, n in self._conn.items()
+            if self._specs[p].direction is PortDir.IN
+        ]
+
+    @property
+    def output_pins(self) -> List[Pin]:
+        return [
+            Pin(self, p, n)
+            for p, n in self._conn.items()
+            if self._specs[p].direction is PortDir.OUT
+        ]
+
+    @property
+    def input_ports(self) -> List[str]:
+        return [s.name for s in self.port_specs() if s.direction is PortDir.IN]
+
+    @property
+    def output_ports(self) -> List[str]:
+        return [s.name for s in self.port_specs() if s.direction is PortDir.OUT]
+
+    @property
+    def data_input_ports(self) -> List[str]:
+        """Input ports that carry operands (i.e. not control ports)."""
+        return [
+            s.name
+            for s in self.port_specs()
+            if s.direction is PortDir.IN and not s.is_control
+        ]
+
+    # ------------------------------------------------------------------
+    # Behaviour
+    # ------------------------------------------------------------------
+    def evaluate(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        """Combinational function: input port values -> output port values.
+
+        Values are unsigned integers already clipped to their net widths;
+        implementations must clip their results to the output net widths.
+        Sequential cells raise, as the simulator owns their behaviour.
+        """
+        raise NotImplementedError(f"{type(self).__name__} is not combinational")
+
+    # ------------------------------------------------------------------
+    def connections(self) -> Tuple[Tuple[str, Net], ...]:
+        """All (port, net) bindings, in declaration order."""
+        return tuple(
+            (s.name, self._conn[s.name])
+            for s in self.port_specs()
+            if s.name in self._conn
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"

@@ -1,0 +1,84 @@
+"""Netlist composition: merging designs into larger systems.
+
+:func:`merge_designs` instantiates several designs side by side in one
+flat netlist, prefixing every cell and net name with the instance name.
+Primary inputs may be *shared*: a mapping like ``{"clk_en": [("u0",
+"EN"), ("u1", "GO")]}`` replaces the listed sub-design inputs with one
+merged input, modelling subsystems driven by common control.
+
+Used to build SoC-scale benchmark designs (many combinational blocks,
+dozens of candidates) from the unit generators — and generally useful
+for hierarchy-flattening workflows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import NetlistError
+from repro.netlist.cells import Cell
+from repro.netlist.design import Design
+from repro.netlist.ports import PrimaryInput
+from repro.netlist.textio import cell_type_token, make_cell
+
+
+def merge_designs(
+    name: str,
+    parts: Mapping[str, Design],
+    shared_inputs: Optional[Mapping[str, Sequence[Tuple[str, str]]]] = None,
+) -> Design:
+    """Flatten ``parts`` (instance-name → design) into one design.
+
+    Every net and cell of instance ``u`` is renamed ``u_<original>``.
+    ``shared_inputs`` maps a new top-level input name to the (instance,
+    input-name) pairs it replaces; the replaced inputs must all have the
+    same width.
+    """
+    shared_inputs = dict(shared_inputs or {})
+    replaced: Dict[Tuple[str, str], str] = {}
+    for new_name, targets in shared_inputs.items():
+        for instance, input_name in targets:
+            replaced[(instance, input_name)] = new_name
+
+    merged = Design(name)
+
+    # Shared inputs first (width checked while wiring below).
+    shared_nets: Dict[str, object] = {}
+    for new_name, targets in shared_inputs.items():
+        instance, input_name = targets[0]
+        try:
+            width = parts[instance].input_net(input_name).width
+        except KeyError:
+            raise NetlistError(f"unknown instance {instance!r} in shared_inputs") from None
+        cell = merged.add_cell(PrimaryInput(new_name))
+        net = merged.add_net(new_name, width)
+        merged.connect(cell, "Y", net)
+        shared_nets[new_name] = net
+
+    for instance, part in parts.items():
+        net_map = {}
+        for net in part.nets:
+            driver = net.driver
+            if (
+                driver is not None
+                and isinstance(driver.cell, PrimaryInput)
+                and (instance, driver.cell.name) in replaced
+            ):
+                shared_name = replaced[(instance, driver.cell.name)]
+                shared = shared_nets[shared_name]
+                if shared.width != net.width:
+                    raise NetlistError(
+                        f"shared input {shared_name!r}: width {shared.width} != "
+                        f"{instance}.{driver.cell.name} width {net.width}"
+                    )
+                net_map[net] = shared
+            else:
+                net_map[net] = merged.add_net(f"{instance}_{net.name}", net.width)
+        for cell in part.cells:
+            if isinstance(cell, PrimaryInput) and (instance, cell.name) in replaced:
+                continue  # subsumed by the shared input
+            clone = make_cell(cell_type_token(cell), f"{instance}_{cell.name}")
+            merged.add_cell(clone)
+            for port, net in cell.connections():
+                merged.connect(clone, port, net_map[net])
+    return merged

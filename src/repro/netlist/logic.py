@@ -1,0 +1,229 @@
+"""Generic logic cells: bitwise gates, buffers and multiplexors.
+
+Gates operate bitwise on equal-width operands. The activation-function
+derivation (paper Section 3) interprets each gate "as a degenerated
+multiplexor": a toggle on one input is observable at the output when the
+other inputs are at non-controlling values. :meth:`Gate2.side_condition`
+exposes exactly that Boolean condition so the core never needs to know
+gate internals.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.errors import NetlistError
+from repro.netlist.cells import Cell, PortDir, PortSpec
+
+
+class Gate2(Cell):
+    """Base for two-input bitwise gates with ports A, B -> Y.
+
+    ``CONTROLLING`` is the input value that forces the output regardless
+    of the other input (0 for AND/NAND, 1 for OR/NOR, None for XOR/XNOR,
+    which have no controlling value).
+    """
+
+    CONTROLLING: Optional[int] = None
+    kind = "gate2"
+
+    def port_specs(self) -> Sequence[PortSpec]:
+        return (
+            PortSpec("A", PortDir.IN),
+            PortSpec("B", PortDir.IN),
+            PortSpec("Y", PortDir.OUT),
+        )
+
+    def port_width(self, port: str) -> Optional[int]:
+        # All three ports share a width once any of them is connected.
+        self.port_spec(port)
+        for other in ("A", "B", "Y"):
+            if other != port and self.is_connected(other):
+                return self.net(other).width
+        return None
+
+    def _op(self, a: int, b: int) -> int:
+        raise NotImplementedError
+
+    def evaluate(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        y = self.net("Y")
+        return {"Y": y.clip(self._op(inputs["A"], inputs["B"]))}
+
+    def side_ports(self, port: str) -> List[str]:
+        """The other data inputs relative to ``port``."""
+        if port not in ("A", "B"):
+            raise NetlistError(f"{self.name}: {port!r} is not a gate data input")
+        return ["B" if port == "A" else "A"]
+
+
+class AndGate(Gate2):
+    """Bitwise AND. Controlling value 0."""
+
+    CONTROLLING = 0
+    kind = "and2"
+
+    def _op(self, a: int, b: int) -> int:
+        return a & b
+
+
+class OrGate(Gate2):
+    """Bitwise OR. Controlling value 1."""
+
+    CONTROLLING = 1
+    kind = "or2"
+
+    def _op(self, a: int, b: int) -> int:
+        return a | b
+
+
+class NandGate(Gate2):
+    """Bitwise NAND. Controlling value 0."""
+
+    CONTROLLING = 0
+    kind = "nand2"
+
+    def _op(self, a: int, b: int) -> int:
+        return ~(a & b)
+
+
+class NorGate(Gate2):
+    """Bitwise NOR. Controlling value 1."""
+
+    CONTROLLING = 1
+    kind = "nor2"
+
+    def _op(self, a: int, b: int) -> int:
+        return ~(a | b)
+
+
+class XorGate(Gate2):
+    """Bitwise XOR. No controlling value: every toggle is observable."""
+
+    CONTROLLING = None
+    kind = "xor2"
+
+    def _op(self, a: int, b: int) -> int:
+        return a ^ b
+
+
+class XnorGate(Gate2):
+    """Bitwise XNOR. No controlling value."""
+
+    CONTROLLING = None
+    kind = "xnor2"
+
+    def _op(self, a: int, b: int) -> int:
+        return ~(a ^ b)
+
+
+class NotGate(Cell):
+    """Bitwise inverter, A -> Y."""
+
+    kind = "not"
+
+    def port_specs(self) -> Sequence[PortSpec]:
+        return (PortSpec("A", PortDir.IN), PortSpec("Y", PortDir.OUT))
+
+    def port_width(self, port: str) -> Optional[int]:
+        self.port_spec(port)
+        other = "Y" if port == "A" else "A"
+        return self.net(other).width if self.is_connected(other) else None
+
+    def evaluate(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        y = self.net("Y")
+        return {"Y": y.clip(~inputs["A"])}
+
+
+class Buffer(Cell):
+    """Non-inverting buffer, A -> Y (used for fanout repair / bus drivers)."""
+
+    kind = "buf"
+
+    def port_specs(self) -> Sequence[PortSpec]:
+        return (PortSpec("A", PortDir.IN), PortSpec("Y", PortDir.OUT))
+
+    def port_width(self, port: str) -> Optional[int]:
+        self.port_spec(port)
+        other = "Y" if port == "A" else "A"
+        return self.net(other).width if self.is_connected(other) else None
+
+    def evaluate(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        return {"Y": self.net("Y").clip(inputs["A"])}
+
+
+class BitSelect(Cell):
+    """Extracts one bit of a bus: ``Y = A[bit]``.
+
+    Pure wiring (no logic); used to tap individual select bits of wide
+    control buses for activation logic and for control-word decoding in
+    designs.
+    """
+
+    kind = "bitsel"
+
+    def __init__(self, name: str, bit: int) -> None:
+        if bit < 0:
+            raise NetlistError(f"bitsel {name!r}: bit index must be >= 0, got {bit}")
+        self.bit = bit
+        super().__init__(name)
+
+    def port_specs(self) -> Sequence[PortSpec]:
+        return (PortSpec("A", PortDir.IN), PortSpec("Y", PortDir.OUT))
+
+    def port_width(self, port: str) -> Optional[int]:
+        self.port_spec(port)
+        return 1 if port == "Y" else None
+
+    def bind(self, port: str, net) -> None:
+        super().bind(port, net)
+        if port == "A" and self.bit >= net.width:
+            raise NetlistError(
+                f"bitsel {self.name!r}: bit {self.bit} out of range for "
+                f"{net.width}-bit net {net.name!r}"
+            )
+
+    def evaluate(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        return {"Y": (inputs["A"] >> self.bit) & 1}
+
+
+class Mux(Cell):
+    """N-way multiplexor: data inputs D0..D{n-1}, select S, output Y.
+
+    The select net must be wide enough to address every input
+    (``ceil(log2(n))`` bits). Select values beyond ``n - 1`` wrap onto
+    input ``value % n`` so simulation never sees an undefined output.
+    """
+
+    kind = "mux"
+
+    def __init__(self, name: str, n_inputs: int = 2) -> None:
+        if n_inputs < 2:
+            raise NetlistError(f"mux {name!r}: need >= 2 inputs, got {n_inputs}")
+        self.n_inputs = n_inputs
+        super().__init__(name)
+
+    def port_specs(self) -> Sequence[PortSpec]:
+        specs = [PortSpec(f"D{i}", PortDir.IN) for i in range(self.n_inputs)]
+        specs.append(PortSpec("S", PortDir.IN, is_control=True))
+        specs.append(PortSpec("Y", PortDir.OUT))
+        return tuple(specs)
+
+    @property
+    def select_width(self) -> int:
+        return max(1, (self.n_inputs - 1).bit_length())
+
+    def port_width(self, port: str) -> Optional[int]:
+        self.port_spec(port)
+        if port == "S":
+            return self.select_width
+        for other in [f"D{i}" for i in range(self.n_inputs)] + ["Y"]:
+            if other != port and self.is_connected(other):
+                return self.net(other).width
+        return None
+
+    def evaluate(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        sel = inputs["S"] % self.n_inputs
+        return {"Y": self.net("Y").clip(inputs[f"D{sel}"])}
+
+    def data_ports(self) -> List[str]:
+        return [f"D{i}" for i in range(self.n_inputs)]

@@ -1,0 +1,60 @@
+"""Nets: named multi-bit signals connecting cell pins.
+
+A :class:`Net` carries an unsigned integer value of a fixed bit ``width``
+during simulation. Structurally it records exactly one *driver* pin and any
+number of *reader* pins; the :class:`~repro.netlist.design.Design` container
+maintains these links when cells are connected.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.errors import NetlistError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.netlist.cells import Pin
+
+
+class Net:
+    """A named bus of ``width`` bits.
+
+    Parameters
+    ----------
+    name:
+        Unique name within the owning design.
+    width:
+        Number of bits (>= 1). One-bit nets typically carry control
+        signals (mux selects, register enables, activation signals).
+    """
+
+    __slots__ = ("name", "width", "driver", "readers")
+
+    def __init__(self, name: str, width: int = 1) -> None:
+        if width < 1:
+            raise NetlistError(f"net {name!r}: width must be >= 1, got {width}")
+        self.name = name
+        self.width = width
+        self.driver: Optional["Pin"] = None
+        self.readers: List["Pin"] = []
+
+    @property
+    def mask(self) -> int:
+        """Bit mask covering the full width (``2**width - 1``)."""
+        return (1 << self.width) - 1
+
+    @property
+    def is_control(self) -> bool:
+        """True for one-bit nets, which we treat as control signals.
+
+        Activation functions (see :mod:`repro.core.activation`) are Boolean
+        functions over control nets only; wider nets are datapath buses.
+        """
+        return self.width == 1
+
+    def clip(self, value: int) -> int:
+        """Truncate ``value`` to this net's width (two's-complement wrap)."""
+        return value & self.mask
+
+    def __repr__(self) -> str:
+        return f"Net({self.name!r}, width={self.width})"

@@ -1,0 +1,118 @@
+"""Partitioning into combinational blocks (Algorithm 1, line 1).
+
+A *combinational block* is a maximal connected region of combinational
+cells bounded by sequential cells (registers), primary inputs and primary
+outputs. The isolation algorithm works block-locally: activation
+functions never cross block boundaries (``f_r+ := 1`` for registers), and
+at most one candidate per block is isolated per iteration.
+
+Transparent latches are combinational for partitioning purposes (signals
+pass through them within a cycle), so inserting LAT isolation banks does
+not split a block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.netlist.cells import Cell
+from repro.netlist.design import Design
+from repro.netlist.nets import Net
+from repro.netlist.ports import PrimaryInput, PrimaryOutput
+from repro.netlist.traversal import comb_fanin_cells, comb_fanout_cells
+
+
+@dataclass
+class CombinationalBlock:
+    """One maximal combinational region of a design.
+
+    Attributes
+    ----------
+    index:
+        Stable id of the block within its partition (ordering is by the
+        lexicographically smallest cell name, so partitions are
+        deterministic across runs).
+    cells:
+        The combinational cells of the block.
+    boundary_inputs:
+        Nets entering the block (register outputs, primary inputs,
+        constant outputs).
+    boundary_outputs:
+        Nets produced in the block and consumed by registers or primary
+        outputs.
+    """
+
+    index: int
+    cells: Set[Cell] = field(default_factory=set)
+    boundary_inputs: Set[Net] = field(default_factory=set)
+    boundary_outputs: Set[Net] = field(default_factory=set)
+
+    @property
+    def modules(self) -> List[Cell]:
+        """Datapath modules (isolation candidates) inside this block."""
+        return sorted(
+            (c for c in self.cells if c.is_datapath_module), key=lambda c: c.name
+        )
+
+    def __contains__(self, cell: Cell) -> bool:
+        return cell in self.cells
+
+    def __repr__(self) -> str:
+        return f"CombinationalBlock(index={self.index}, cells={len(self.cells)})"
+
+
+def partition_blocks(design: Design) -> List[CombinationalBlock]:
+    """Split ``design`` into its combinational blocks.
+
+    Two combinational cells are in the same block iff they are connected
+    by a net (in either direction) that does not cross a sequential
+    boundary. Implemented as union-find-free BFS over the undirected
+    combinational adjacency.
+    """
+    comb = design.combinational_cells
+    block_of: Dict[Cell, int] = {}
+    groups: List[List[Cell]] = []
+    for seed in comb:
+        if seed in block_of:
+            continue
+        group_index = len(groups)
+        group: List[Cell] = []
+        stack = [seed]
+        block_of[seed] = group_index
+        while stack:
+            cell = stack.pop()
+            group.append(cell)
+            for neighbour in comb_fanin_cells(cell) + comb_fanout_cells(cell):
+                if neighbour not in block_of:
+                    block_of[neighbour] = group_index
+                    stack.append(neighbour)
+        groups.append(group)
+
+    # Deterministic order: by smallest cell name in the group.
+    groups.sort(key=lambda g: min(c.name for c in g))
+
+    blocks: List[CombinationalBlock] = []
+    for index, group in enumerate(groups):
+        block = CombinationalBlock(index=index, cells=set(group))
+        for cell in group:
+            for pin in cell.input_pins:
+                driver = pin.net.driver
+                if driver is None or driver.cell not in block.cells:
+                    block.boundary_inputs.add(pin.net)
+            for pin in cell.output_pins:
+                for reader in pin.net.readers:
+                    if reader.cell.is_sequential or isinstance(
+                        reader.cell, PrimaryOutput
+                    ):
+                        block.boundary_outputs.add(pin.net)
+        blocks.append(block)
+    return blocks
+
+
+def block_of_cell(blocks: List[CombinationalBlock], cell: Cell) -> CombinationalBlock:
+    """The block containing ``cell`` (raises KeyError if none does)."""
+    for block in blocks:
+        if cell in block:
+            return block
+    raise KeyError(f"cell {cell.name!r} is in no combinational block")

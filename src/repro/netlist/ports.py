@@ -1,0 +1,54 @@
+"""Boundary cells: primary inputs, primary outputs and constants.
+
+Primary inputs are driven by stimulus each cycle; primary outputs are the
+observation points of the design (their activation function is constant 1
+— a result reaching a PO is always observable). Constants drive a fixed
+value forever and contribute no switching activity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+from repro.netlist.cells import Cell, PortDir, PortSpec
+
+
+class PrimaryInput(Cell):
+    """A design input. Its single port ``Y`` drives the input net."""
+
+    kind = "pi"
+
+    def port_specs(self) -> Sequence[PortSpec]:
+        return (PortSpec("Y", PortDir.OUT),)
+
+    def evaluate(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        # Value supplied by the stimulus; engine never calls this.
+        raise NotImplementedError("primary inputs are driven by stimulus")
+
+
+class PrimaryOutput(Cell):
+    """A design output. Its single port ``A`` reads the output net."""
+
+    kind = "po"
+
+    def port_specs(self) -> Sequence[PortSpec]:
+        return (PortSpec("A", PortDir.IN),)
+
+    def evaluate(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        return {}
+
+
+class Constant(Cell):
+    """Constant driver: port ``Y`` holds ``value`` forever."""
+
+    kind = "const"
+
+    def __init__(self, name: str, value: int) -> None:
+        self.value = value
+        super().__init__(name)
+
+    def port_specs(self) -> Sequence[PortSpec]:
+        return (PortSpec("Y", PortDir.OUT),)
+
+    def evaluate(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        return {"Y": self.net("Y").clip(self.value)}

@@ -1,0 +1,111 @@
+"""Sequential cells: edge-triggered registers and transparent latches.
+
+Sequential cells bound the combinational blocks that the isolation
+algorithm works on. Their behaviour lives in the simulation engine, which
+owns their state; here they only declare structure:
+
+* :class:`Register` — positive-edge D flip-flop bank with an optional
+  active-high load enable ``EN``. Without ``EN`` it loads every cycle.
+* :class:`TransparentLatch` — level-sensitive latch bank, transparent
+  while ``G`` is high. This is the "LAT" isolation style's hold element;
+  within a cycle it behaves combinationally when transparent, so the
+  simulator schedules it with the combinational cells.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.netlist.cells import Cell, PortDir, PortSpec
+
+
+class Register(Cell):
+    """Edge-triggered register bank: D -> Q on the clock edge when enabled.
+
+    Ports
+    -----
+    D : data input
+    EN : optional one-bit active-high load enable (control port)
+    Q : registered output
+
+    ``reset_value`` is the power-on contents of the register.
+    """
+
+    is_sequential = True
+    has_state = True
+    kind = "reg"
+
+    def __init__(self, name: str, has_enable: bool = False, reset_value: int = 0) -> None:
+        self.has_enable = has_enable
+        self.reset_value = reset_value
+        super().__init__(name)
+
+    def port_specs(self) -> Sequence[PortSpec]:
+        specs = [PortSpec("D", PortDir.IN)]
+        if self.has_enable:
+            specs.append(PortSpec("EN", PortDir.IN, is_control=True))
+        specs.append(PortSpec("Q", PortDir.OUT))
+        return tuple(specs)
+
+    def port_width(self, port: str) -> Optional[int]:
+        self.port_spec(port)
+        if port == "EN":
+            return 1
+        other = "Q" if port == "D" else "D"
+        return self.net(other).width if self.is_connected(other) else None
+
+    def next_state(self, state: int, inputs: Mapping[str, int]) -> int:
+        """State after a clock edge given current input values."""
+        if self.has_enable and not inputs["EN"]:
+            return state
+        return self.net("Q").clip(inputs["D"])
+
+
+class TransparentLatch(Cell):
+    """Level-sensitive latch bank: Q follows D while G is high, else holds.
+
+    Used as the hold element of latch-based isolation banks and available
+    to designs directly. Within one simulated cycle the latch is evaluated
+    in combinational order (its `G` and `D` are same-cycle signals); its
+    held value is committed at the end of the cycle.
+    """
+
+    # A transparent latch holds state but does NOT bound combinational
+    # blocks: while transparent, its input propagates to its output within
+    # the same cycle, so partitioning, topological ordering and activation
+    # derivation treat it as a combinational node with a G-conditioned
+    # observability (exactly how the paper's LAT isolation banks behave).
+    is_sequential = False
+    is_transparent = True
+    has_state = True
+    kind = "lat"
+
+    def __init__(self, name: str, reset_value: int = 0) -> None:
+        self.reset_value = reset_value
+        super().__init__(name)
+
+    def port_specs(self) -> Sequence[PortSpec]:
+        return (
+            PortSpec("D", PortDir.IN),
+            PortSpec("G", PortDir.IN, is_control=True),
+            PortSpec("Q", PortDir.OUT),
+        )
+
+    def port_width(self, port: str) -> Optional[int]:
+        self.port_spec(port)
+        if port == "G":
+            return 1
+        other = "Q" if port == "D" else "D"
+        return self.net(other).width if self.is_connected(other) else None
+
+    def output_value(self, state: int, inputs: Mapping[str, int]) -> int:
+        """Combinational view: D when transparent, held state otherwise."""
+        if inputs["G"]:
+            return self.net("Q").clip(inputs["D"])
+        return state
+
+    def next_state(self, state: int, inputs: Mapping[str, int]) -> int:
+        """Held value at the end of the cycle (last transparent value)."""
+        if inputs["G"]:
+            return self.net("Q").clip(inputs["D"])
+        return state

@@ -1,0 +1,243 @@
+"""A small line-oriented textual netlist format (read/write).
+
+The format is deliberately minimal — it exists so designs can be saved,
+diffed and reloaded (and so tests can round-trip them). Grammar::
+
+    design <name>
+    net <name> <width>
+    cell <kind>[:<param>[,<param>...]] <name> <port>=<net> ...
+
+``#`` starts a comment; blank lines are ignored. Cell kinds are the
+``kind`` tags of the cell classes (``add``, ``mux``, ``reg``...), with
+type parameters after a colon:
+
+* ``mux:4``      — 4-input multiplexor
+* ``cmp:lt``     — comparator relation
+* ``shift:left`` — shift direction
+* ``reg:en``     — register with load enable; ``reg:en,rv=3`` sets the
+  reset value
+* ``const:5``    — constant value
+
+Example::
+
+    design tiny
+    net A 8
+    net B 8
+    net Y 8
+    cell pi A Y=A
+    cell pi B Y=B
+    cell add a0 A=A B=B Y=Y
+    cell po OUT A=Y
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import NetlistError
+from repro.netlist.arith import (
+    Adder,
+    Comparator,
+    Divider,
+    MacUnit,
+    Multiplier,
+    Shifter,
+    Subtractor,
+)
+from repro.netlist.banks import AndBank, LatchBank, OrBank
+from repro.netlist.cells import Cell
+from repro.netlist.design import Design
+from repro.netlist.logic import (
+    AndGate,
+    BitSelect,
+    Buffer,
+    Mux,
+    NandGate,
+    NorGate,
+    NotGate,
+    OrGate,
+    XnorGate,
+    XorGate,
+)
+from repro.netlist.ports import Constant, PrimaryInput, PrimaryOutput
+from repro.netlist.seq import Register, TransparentLatch
+
+
+def _simple(cls: type) -> Callable[[str, List[str]], Cell]:
+    def make(name: str, params: List[str]) -> Cell:
+        if params:
+            raise NetlistError(f"cell kind {cls.kind!r} takes no parameters")
+        return cls(name)
+
+    return make
+
+
+def _make_mux(name: str, params: List[str]) -> Cell:
+    n = int(params[0]) if params else 2
+    return Mux(name, n_inputs=n)
+
+
+def _make_cmp(name: str, params: List[str]) -> Cell:
+    return Comparator(name, op=params[0] if params else "lt")
+
+
+def _make_shift(name: str, params: List[str]) -> Cell:
+    return Shifter(name, direction=params[0] if params else "left")
+
+
+def _make_reg(name: str, params: List[str]) -> Cell:
+    has_enable = "en" in params
+    reset_value = 0
+    for param in params:
+        if param.startswith("rv="):
+            reset_value = int(param[3:])
+    register = Register(name, has_enable=has_enable, reset_value=reset_value)
+    if "cg" in params:
+        register.clock_gated = True
+    return register
+
+
+def _make_bitsel(name: str, params: List[str]) -> Cell:
+    if not params:
+        raise NetlistError("bitsel cell needs a bit index, e.g. bitsel:2")
+    return BitSelect(name, int(params[0]))
+
+
+def _make_const(name: str, params: List[str]) -> Cell:
+    if not params:
+        raise NetlistError("const cell needs a value parameter, e.g. const:5")
+    return Constant(name, int(params[0]))
+
+
+_FACTORIES: Dict[str, Callable[[str, List[str]], Cell]] = {
+    "pi": _simple(PrimaryInput),
+    "po": _simple(PrimaryOutput),
+    "const": _make_const,
+    "add": _simple(Adder),
+    "sub": _simple(Subtractor),
+    "mul": _simple(Multiplier),
+    "cmp": _make_cmp,
+    "shift": _make_shift,
+    "mac": _simple(MacUnit),
+    "divmod": _simple(Divider),
+    "mux": _make_mux,
+    "and2": _simple(AndGate),
+    "or2": _simple(OrGate),
+    "nand2": _simple(NandGate),
+    "nor2": _simple(NorGate),
+    "xor2": _simple(XorGate),
+    "xnor2": _simple(XnorGate),
+    "not": _simple(NotGate),
+    "buf": _simple(Buffer),
+    "bitsel": _make_bitsel,
+    "reg": _make_reg,
+    "lat": _simple(TransparentLatch),
+    "andbank": _simple(AndBank),
+    "orbank": _simple(OrBank),
+    "latbank": _simple(LatchBank),
+}
+
+
+def cell_type_token(cell: Cell) -> str:
+    """Public alias of the ``kind[:params]`` serialisation token."""
+    return _cell_type_token(cell)
+
+
+def make_cell(token: str, name: str) -> Cell:
+    """Construct a cell from its serialisation token (inverse of
+    :func:`cell_type_token`); used by netlist composition."""
+    kind, _, param_str = token.partition(":")
+    params = param_str.split(",") if param_str else []
+    factory = _FACTORIES.get(kind)
+    if factory is None:
+        raise NetlistError(f"unknown cell kind {kind!r}")
+    return factory(name, params)
+
+
+def _cell_type_token(cell: Cell) -> str:
+    """The ``kind[:params]`` token that reconstructs ``cell``."""
+    if isinstance(cell, Mux):
+        return f"mux:{cell.n_inputs}"
+    if isinstance(cell, Comparator):
+        return f"cmp:{cell.op}"
+    if isinstance(cell, Shifter):
+        return f"shift:{cell.direction}"
+    if isinstance(cell, Register):
+        params = []
+        if cell.has_enable:
+            params.append("en")
+        if cell.reset_value:
+            params.append(f"rv={cell.reset_value}")
+        if getattr(cell, "clock_gated", False):
+            params.append("cg")
+        return "reg:" + ",".join(params) if params else "reg"
+    if isinstance(cell, Constant):
+        return f"const:{cell.value}"
+    if isinstance(cell, BitSelect):
+        return f"bitsel:{cell.bit}"
+    return cell.kind
+
+
+def dumps(design: Design) -> str:
+    """Serialise ``design`` to the textual format."""
+    lines = [f"design {design.name}"]
+    for net in sorted(design.nets, key=lambda n: n.name):
+        lines.append(f"net {net.name} {net.width}")
+    for cell in sorted(design.cells, key=lambda c: c.name):
+        conns = " ".join(f"{port}={net.name}" for port, net in cell.connections())
+        lines.append(f"cell {_cell_type_token(cell)} {cell.name} {conns}".rstrip())
+    return "\n".join(lines) + "\n"
+
+
+def loads(text: str) -> Design:
+    """Parse the textual format back into a :class:`Design`."""
+    design: Design = None  # type: ignore[assignment]
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        keyword = tokens[0]
+        try:
+            if keyword == "design":
+                design = Design(tokens[1])
+            elif keyword == "net":
+                _require(design, lineno)
+                design.add_net(tokens[1], int(tokens[2]))
+            elif keyword == "cell":
+                _require(design, lineno)
+                kind, _, param_str = tokens[1].partition(":")
+                params = param_str.split(",") if param_str else []
+                factory = _FACTORIES.get(kind)
+                if factory is None:
+                    raise NetlistError(f"unknown cell kind {kind!r}")
+                cell = design.add_cell(factory(tokens[2], params))
+                for conn in tokens[3:]:
+                    port, _, net_name = conn.partition("=")
+                    design.connect(cell, port, design.net(net_name))
+            else:
+                raise NetlistError(f"unknown keyword {keyword!r}")
+        except (IndexError, ValueError) as exc:
+            raise NetlistError(f"line {lineno}: malformed line {line!r}") from exc
+        except NetlistError as exc:
+            raise NetlistError(f"line {lineno}: {exc}") from exc
+    if design is None:
+        raise NetlistError("no 'design' line found")
+    return design
+
+
+def _require(design: Design, lineno: int) -> None:
+    if design is None:
+        raise NetlistError(f"line {lineno}: 'design' line must come first")
+
+
+def save(design: Design, path: str) -> None:
+    """Write ``design`` to ``path`` in the textual format."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(design))
+
+
+def load(path: str) -> Design:
+    """Read a design from ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read())

@@ -1,0 +1,161 @@
+"""Graph traversals over a design: topological order, fanin/fanout cones.
+
+The netlist is a directed graph whose vertices are cells and whose edges
+follow nets from their driver pin to their reader pins. The combinational
+subgraph (everything except registers and boundary cells) must be acyclic;
+:func:`combinational_order` both checks this and produces the evaluation
+order used by simulation and static timing.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterable, List, Optional, Set
+
+from repro.errors import ValidationError
+from repro.netlist.cells import Cell
+from repro.netlist.design import Design
+from repro.netlist.nets import Net
+
+
+def _is_comb(cell: Cell) -> bool:
+    from repro.netlist.ports import PrimaryInput, PrimaryOutput
+
+    return not cell.is_sequential and not isinstance(cell, (PrimaryInput, PrimaryOutput))
+
+
+def comb_fanin_cells(cell: Cell) -> List[Cell]:
+    """Combinational cells directly driving ``cell``'s inputs."""
+    result = []
+    for pin in cell.input_pins:
+        driver = pin.net.driver
+        if driver is not None and _is_comb(driver.cell):
+            result.append(driver.cell)
+    return result
+
+
+def comb_fanout_cells(cell: Cell) -> List[Cell]:
+    """Combinational cells directly reading ``cell``'s outputs."""
+    result = []
+    for pin in cell.output_pins:
+        for reader in pin.net.readers:
+            if _is_comb(reader.cell):
+                result.append(reader.cell)
+    return result
+
+
+def combinational_order(design: Design, cells: Optional[Iterable[Cell]] = None) -> List[Cell]:
+    """Topologically sort the combinational cells (Kahn's algorithm).
+
+    Sources are cells all of whose combinational fanins lie outside the
+    set (i.e. they are fed only by registers, primary inputs or
+    constants). Raises :class:`ValidationError` on a combinational loop.
+
+    Parameters
+    ----------
+    cells:
+        Restrict the sort to this subset (default: every combinational
+        cell in the design).
+    """
+    pool: Set[Cell] = set(cells) if cells is not None else set(design.combinational_cells)
+    indegree = {}
+    for cell in pool:
+        indegree[cell] = sum(1 for f in comb_fanin_cells(cell) if f in pool)
+    queue = deque(sorted((c for c in pool if indegree[c] == 0), key=lambda c: c.name))
+    order: List[Cell] = []
+    while queue:
+        cell = queue.popleft()
+        order.append(cell)
+        for succ in comb_fanout_cells(cell):
+            if succ in pool:
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    queue.append(succ)
+    if len(order) != len(pool):
+        stuck = sorted(c.name for c in pool if indegree[c] > 0)
+        raise ValidationError(
+            f"combinational loop in design {design.name!r} involving: "
+            + ", ".join(stuck[:10])
+        )
+    return order
+
+
+def _cone(
+    seeds: Iterable[Cell],
+    step: Callable[[Cell], List[Cell]],
+    stop_at_sequential: bool,
+) -> Set[Cell]:
+    seen: Set[Cell] = set()
+    frontier = deque(seeds)
+    while frontier:
+        cell = frontier.popleft()
+        for nxt in step(cell):
+            if nxt in seen:
+                continue
+            seen.add(nxt)
+            if stop_at_sequential and nxt.is_sequential:
+                continue
+            frontier.append(nxt)
+    return seen
+
+
+def transitive_fanout_cells(cell: Cell, stop_at_sequential: bool = True) -> Set[Cell]:
+    """All cells reachable downstream of ``cell`` (excluding itself).
+
+    With ``stop_at_sequential`` the walk includes registers it reaches but
+    does not continue past them — the paper's per-combinational-block
+    scope.
+    """
+
+    def step(c: Cell) -> List[Cell]:
+        return [r.cell for p in c.output_pins for r in p.net.readers]
+
+    return _cone([cell], step, stop_at_sequential)
+
+
+def transitive_fanin_cells(cell: Cell, stop_at_sequential: bool = True) -> Set[Cell]:
+    """All cells reachable upstream of ``cell`` (excluding itself)."""
+
+    def step(c: Cell) -> List[Cell]:
+        return [
+            p.net.driver.cell
+            for p in c.input_pins
+            if p.net.driver is not None
+        ]
+
+    return _cone([cell], step, stop_at_sequential)
+
+
+def logic_depths(design: Design) -> dict:
+    """Topological logic depth of every combinational cell.
+
+    Depth 1 for cells fed only by registers/PIs/constants, increasing by
+    one per combinational level. Used by the optional glitch model in
+    :mod:`repro.power.estimator`: deeper cells see more spurious
+    transitions in real circuits than a zero-delay cycle simulation
+    reports.
+    """
+    depths = {}
+    for cell in combinational_order(design):
+        fanin_depths = [depths[f] for f in comb_fanin_cells(cell) if f in depths]
+        depths[cell] = 1 + max(fanin_depths, default=0)
+    return depths
+
+
+def net_fanin_cone_nets(net: Net, stop_at_sequential: bool = True) -> Set[Net]:
+    """All nets in the transitive fanin of ``net``, including ``net``."""
+    seen: Set[Net] = {net}
+    frontier = deque([net])
+    while frontier:
+        current = frontier.popleft()
+        driver = current.driver
+        if driver is None:
+            continue
+        cell = driver.cell
+        if stop_at_sequential and cell.is_sequential:
+            continue
+        for pin in cell.input_pins:
+            if pin.net not in seen:
+                seen.add(pin.net)
+                frontier.append(pin.net)
+    return seen

@@ -1,0 +1,57 @@
+"""Structural validation of designs.
+
+Checks performed by :func:`validate_design`:
+
+* every input pin of every cell is connected;
+* every output port of every cell is connected (drives a net);
+* every net has a driver and, unless ``allow_dangling``, at least one reader;
+* the combinational subgraph is acyclic (via topological sort);
+* gate/mux/module width constraints hold (enforced again here in case a
+  design was assembled without the builder).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ValidationError
+from repro.netlist.design import Design
+from repro.netlist.traversal import combinational_order
+
+
+def validation_problems(design: Design, allow_dangling: bool = False) -> List[str]:
+    """Collect human-readable descriptions of every structural problem."""
+    problems: List[str] = []
+    for cell in design.cells:
+        for spec in cell.port_specs():
+            if not cell.is_connected(spec.name):
+                problems.append(f"{cell.name}.{spec.name} is unconnected")
+                continue
+            net = cell.net(spec.name)
+            required = cell.port_width(spec.name)
+            if required is not None and net.width != required:
+                problems.append(
+                    f"{cell.name}.{spec.name}: net {net.name!r} width "
+                    f"{net.width} != required {required}"
+                )
+    for net in design.nets:
+        if net.driver is None:
+            problems.append(f"net {net.name!r} has no driver")
+        if not net.readers and not allow_dangling:
+            problems.append(f"net {net.name!r} has no readers")
+    try:
+        combinational_order(design)
+    except ValidationError as exc:
+        problems.append(str(exc))
+    return problems
+
+
+def validate_design(design: Design, allow_dangling: bool = False) -> None:
+    """Raise :class:`ValidationError` describing all problems, if any."""
+    problems = validation_problems(design, allow_dangling=allow_dangling)
+    if problems:
+        listing = "\n  - ".join(problems[:25])
+        more = f"\n  ... and {len(problems) - 25} more" if len(problems) > 25 else ""
+        raise ValidationError(
+            f"design {design.name!r} failed validation:\n  - {listing}{more}"
+        )

@@ -1,0 +1,176 @@
+"""Structural Verilog export (write-only).
+
+:func:`to_verilog` renders a design as a synthesisable Verilog-2001
+module: continuous assignments for combinational cells and one clocked
+``always`` block per register. This is an interoperability convenience so
+isolated netlists can be inspected or pushed through an external flow; the
+library itself never reads Verilog back.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import NetlistError
+from repro.netlist.arith import (
+    Adder,
+    Comparator,
+    Divider,
+    MacUnit,
+    Multiplier,
+    Shifter,
+    Subtractor,
+)
+from repro.netlist.banks import AndBank, LatchBank, OrBank
+from repro.netlist.cells import Cell
+from repro.netlist.design import Design
+from repro.netlist.logic import (
+    AndGate,
+    BitSelect,
+    Buffer,
+    Mux,
+    NandGate,
+    NorGate,
+    NotGate,
+    OrGate,
+    XnorGate,
+    XorGate,
+)
+from repro.netlist.nets import Net
+from repro.netlist.ports import Constant, PrimaryInput, PrimaryOutput
+from repro.netlist.seq import Register, TransparentLatch
+
+_CMP_OPS = {"eq": "==", "ne": "!=", "lt": "<", "le": "<=", "gt": ">", "ge": ">="}
+
+
+def _decl(net: Net, kind: str) -> str:
+    if net.width == 1:
+        return f"  {kind} {net.name};"
+    return f"  {kind} [{net.width - 1}:0] {net.name};"
+
+
+def _replicate(enable: str, width: int) -> str:
+    return f"{{{width}{{{enable}}}}}" if width > 1 else enable
+
+
+def _comb_assign(cell: Cell) -> str:
+    """Continuous assignment implementing a combinational cell."""
+    n = cell.net  # local alias for brevity
+    if isinstance(cell, Adder):
+        return f"  assign {n('Y').name} = {n('A').name} + {n('B').name};"
+    if isinstance(cell, Subtractor):
+        return f"  assign {n('Y').name} = {n('A').name} - {n('B').name};"
+    if isinstance(cell, Multiplier):
+        return f"  assign {n('Y').name} = {n('A').name} * {n('B').name};"
+    if isinstance(cell, MacUnit):
+        return f"  assign {n('Y').name} = {n('A').name} * {n('B').name} + {n('C').name};"
+    if isinstance(cell, Divider):
+        return (
+            f"  assign {n('Y').name} = ({n('B').name} == 0) ? "
+            f"{{{n('Y').width}{{1'b1}}}} : {n('A').name} / {n('B').name};\n"
+            f"  assign {n('R').name} = ({n('B').name} == 0) ? "
+            f"{n('A').name} : {n('A').name} % {n('B').name};"
+        )
+    if isinstance(cell, Comparator):
+        return f"  assign {n('Y').name} = {n('A').name} {_CMP_OPS[cell.op]} {n('B').name};"
+    if isinstance(cell, Shifter):
+        op = "<<" if cell.direction == "left" else ">>"
+        return f"  assign {n('Y').name} = {n('A').name} {op} {n('B').name};"
+    if isinstance(cell, Mux):
+        body = n(f"D{cell.n_inputs - 1}").name
+        for i in range(cell.n_inputs - 2, -1, -1):
+            body = f"({n('S').name} == {i}) ? {n(f'D{i}').name} : {body}"
+        return f"  assign {n('Y').name} = {body};"
+    if isinstance(cell, AndGate):
+        return f"  assign {n('Y').name} = {n('A').name} & {n('B').name};"
+    if isinstance(cell, OrGate):
+        return f"  assign {n('Y').name} = {n('A').name} | {n('B').name};"
+    if isinstance(cell, NandGate):
+        return f"  assign {n('Y').name} = ~({n('A').name} & {n('B').name});"
+    if isinstance(cell, NorGate):
+        return f"  assign {n('Y').name} = ~({n('A').name} | {n('B').name});"
+    if isinstance(cell, XorGate):
+        return f"  assign {n('Y').name} = {n('A').name} ^ {n('B').name};"
+    if isinstance(cell, XnorGate):
+        return f"  assign {n('Y').name} = ~({n('A').name} ^ {n('B').name});"
+    if isinstance(cell, NotGate):
+        return f"  assign {n('Y').name} = ~{n('A').name};"
+    if isinstance(cell, Buffer):
+        return f"  assign {n('Y').name} = {n('A').name};"
+    if isinstance(cell, BitSelect):
+        return f"  assign {n('Y').name} = {n('A').name}[{cell.bit}];"
+    if isinstance(cell, Constant):
+        return f"  assign {n('Y').name} = {n('Y').width}'d{cell.value & n('Y').mask};"
+    if isinstance(cell, AndBank):
+        rep = _replicate(n("EN").name, n("Y").width)
+        return f"  assign {n('Y').name} = {n('D').name} & {rep};"
+    if isinstance(cell, OrBank):
+        rep = _replicate(f"~{n('EN').name}", n("Y").width)
+        return f"  assign {n('Y').name} = {n('D').name} | {rep};"
+    raise NetlistError(f"no Verilog template for cell kind {cell.kind!r}")
+
+
+def to_verilog(design: Design, clock_name: str = "clk") -> str:
+    """Render ``design`` as a structural Verilog module string."""
+    inputs = sorted(design.primary_inputs, key=lambda c: c.name)
+    outputs = sorted(design.primary_outputs, key=lambda c: c.name)
+    port_names = [clock_name] + [c.name for c in inputs] + [c.name for c in outputs]
+
+    lines: List[str] = [f"module {design.name} ({', '.join(port_names)});"]
+    lines.append(f"  input {clock_name};")
+    for cell in inputs:
+        net = cell.net("Y")
+        lines.append(_decl(net, "input"))
+    for cell in outputs:
+        net = cell.net("A")
+        width = f"[{net.width - 1}:0] " if net.width > 1 else ""
+        lines.append(f"  output {width}{cell.name};")
+
+    reg_out_nets = set()
+    latch_like = []
+    for cell in design.cells:
+        if isinstance(cell, Register):
+            reg_out_nets.add(cell.net("Q"))
+        elif isinstance(cell, (TransparentLatch, LatchBank)):
+            latch_like.append(cell)
+            reg_out_nets.add(cell.net("Q" if isinstance(cell, TransparentLatch) else "Y"))
+
+    pi_nets = {c.net("Y") for c in inputs}
+    for net in sorted(design.nets, key=lambda n: n.name):
+        if net in pi_nets:
+            continue
+        lines.append(_decl(net, "reg" if net in reg_out_nets else "wire"))
+
+    lines.append("")
+    for cell in sorted(design.combinational_cells, key=lambda c: c.name):
+        if isinstance(cell, (TransparentLatch, LatchBank)):
+            continue
+        lines.append(_comb_assign(cell))
+    for cell in sorted(design.constants, key=lambda c: c.name):
+        lines.append(_comb_assign(cell))
+
+    for cell in sorted(design.registers, key=lambda c: c.name):
+        lines.append("")
+        lines.append(f"  always @(posedge {clock_name}) begin")
+        if cell.has_enable:
+            lines.append(f"    if ({cell.net('EN').name})")
+            lines.append(f"      {cell.net('Q').name} <= {cell.net('D').name};")
+        else:
+            lines.append(f"    {cell.net('Q').name} <= {cell.net('D').name};")
+        lines.append("  end")
+
+    for cell in sorted(latch_like, key=lambda c: c.name):
+        gate = "G" if isinstance(cell, TransparentLatch) else "EN"
+        out = "Q" if isinstance(cell, TransparentLatch) else "Y"
+        lines.append("")
+        lines.append(f"  always @* begin")
+        lines.append(f"    if ({cell.net(gate).name})")
+        lines.append(f"      {cell.net(out).name} = {cell.net('D').name};")
+        lines.append("  end")
+
+    for cell in outputs:
+        lines.append("")
+        lines.append(f"  assign {cell.name} = {cell.net('A').name};")
+
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,34 @@
+"""Power modelling: technology library, macro models and estimation.
+
+The estimation flow mirrors the paper's use of Synopsys DesignPower:
+
+1. simulate the design with real-life (or synthetic) stimuli, measuring
+   per-net toggle rates (:mod:`repro.sim`);
+2. convert switching activity into energy with per-cell-type parameters
+   from a :class:`~repro.power.library.TechnologyLibrary`;
+3. report total and per-cell power (:mod:`repro.power.estimator`).
+
+*Macro power models* (:mod:`repro.power.macromodel`) are the predictive
+counterpart: closed-form ``p_i(Tr)`` per module as a function of input
+toggle rates (Landman-style), used by the savings model **before** any
+transform is applied.
+"""
+
+from repro.power.library import CellParams, TechnologyLibrary, default_library
+from repro.power.macromodel import MacroPowerModel
+from repro.power.estimator import PowerBreakdown, PowerEstimator, estimate_power
+from repro.power.report import format_area_report, format_power_report
+from repro.power.profile import PowerProfileMonitor
+
+__all__ = [
+    "format_area_report",
+    "PowerProfileMonitor",
+    "CellParams",
+    "TechnologyLibrary",
+    "default_library",
+    "MacroPowerModel",
+    "PowerEstimator",
+    "PowerBreakdown",
+    "estimate_power",
+    "format_power_report",
+]

@@ -1,0 +1,268 @@
+"""The faux standard-cell/RT-module technology library.
+
+Absolute numbers are modelled on a generic 0.25 µm / 2.5 V process and do
+*not* claim to match any foundry; what matters for reproducing the paper
+is the set of **relations** between them:
+
+* internal switched capacitance of an arithmetic module per input toggle
+  is much larger than that of an isolation gate (so isolation pays off);
+* a multiplier's internal activity grows with operand width (each input
+  bit toggle disturbs O(width) partial-product cells) while an adder's is
+  O(1) on average (short expected carry chains);
+* latches cost clock/static energy every cycle and more area than plain
+  gates (so LAT isolation carries a standing overhead that AND/OR
+  isolation does not);
+* isolation banks add one gate delay to the operand paths.
+
+Every query takes the *cell instance*, so width- and type-dependent
+scaling lives here and nowhere else.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import PowerModelError
+from repro.netlist.arith import ArithModule
+from repro.netlist.cells import Cell, PortDir
+from repro.netlist.logic import Mux
+from repro.netlist.nets import Net
+
+
+@dataclass(frozen=True)
+class CellParams:
+    """Per-kind library parameters (all per bit unless noted).
+
+    Attributes
+    ----------
+    area_per_bit:
+        Layout area in µm² per output bit.
+    delay_fixed / delay_per_bit:
+        Propagation delay in ns: ``delay_fixed + delay_per_bit * width``
+        (ripple-style width dependence; 0 for log-depth structures).
+    energy_in:
+        Internal energy in pJ per toggled *input* bit, before the
+        kind-specific activity scaling of :meth:`TechnologyLibrary.input_toggle_energy`.
+    energy_out:
+        Driving energy in pJ per toggled *output* bit (scaled by fanout).
+    energy_static:
+        Standing energy in pJ per bit per clock cycle (clock load of
+        registers/latches; 0 for pure combinational cells).
+    input_cap:
+        Relative input pin load, used by the timing engine's fanout
+        delay term.
+    """
+
+    area_per_bit: float
+    delay_fixed: float
+    delay_per_bit: float = 0.0
+    energy_in: float = 0.02
+    energy_out: float = 0.025
+    energy_static: float = 0.0
+    input_cap: float = 1.0
+
+
+#: Baseline parameter set. Arithmetic "energy_in" values are the paper's
+#: macro-model coefficients before activity scaling.
+_DEFAULT_PARAMS: Dict[str, CellParams] = {
+    # Boundary cells: free.
+    "pi": CellParams(area_per_bit=0.0, delay_fixed=0.0, energy_in=0.0, energy_out=0.0),
+    "po": CellParams(area_per_bit=0.0, delay_fixed=0.0, energy_in=0.0, energy_out=0.0),
+    "const": CellParams(area_per_bit=0.0, delay_fixed=0.0, energy_in=0.0, energy_out=0.0),
+    # Simple gates (bitwise, area/energy scale with width).
+    "and2": CellParams(area_per_bit=12.0, delay_fixed=0.12, energy_in=0.010),
+    "or2": CellParams(area_per_bit=12.0, delay_fixed=0.12, energy_in=0.010),
+    "nand2": CellParams(area_per_bit=9.0, delay_fixed=0.10, energy_in=0.009),
+    "nor2": CellParams(area_per_bit=9.0, delay_fixed=0.10, energy_in=0.009),
+    "xor2": CellParams(area_per_bit=18.0, delay_fixed=0.16, energy_in=0.014),
+    "xnor2": CellParams(area_per_bit=18.0, delay_fixed=0.16, energy_in=0.014),
+    "not": CellParams(area_per_bit=6.0, delay_fixed=0.06, energy_in=0.006),
+    "buf": CellParams(area_per_bit=9.0, delay_fixed=0.10, energy_in=0.008),
+    # Pure wiring: a bit tap costs nothing but a tiny route delay.
+    "bitsel": CellParams(area_per_bit=0.0, delay_fixed=0.01, energy_in=0.001, energy_out=0.002),
+    "mux": CellParams(area_per_bit=14.0, delay_fixed=0.15, energy_in=0.012),
+    # Arithmetic modules (isolation candidates).
+    "add": CellParams(area_per_bit=62.0, delay_fixed=0.45, delay_per_bit=0.085, energy_in=0.075),
+    "sub": CellParams(area_per_bit=66.0, delay_fixed=0.45, delay_per_bit=0.085, energy_in=0.075),
+    "mul": CellParams(area_per_bit=58.0, delay_fixed=0.60, delay_per_bit=0.16, energy_in=0.055),
+    "mac": CellParams(area_per_bit=70.0, delay_fixed=0.80, delay_per_bit=0.17, energy_in=0.055),
+    "divmod": CellParams(area_per_bit=85.0, delay_fixed=1.10, delay_per_bit=0.30, energy_in=0.050),
+    "cmp": CellParams(area_per_bit=26.0, delay_fixed=0.30, delay_per_bit=0.050, energy_in=0.045),
+    "shift": CellParams(area_per_bit=30.0, delay_fixed=0.28, delay_per_bit=0.020, energy_in=0.050),
+    # Sequential cells.
+    "reg": CellParams(
+        area_per_bit=48.0, delay_fixed=0.30, energy_in=0.060, energy_static=0.012
+    ),
+    "lat": CellParams(
+        area_per_bit=30.0, delay_fixed=0.18, energy_in=0.045, energy_static=0.009
+    ),
+    # Integrated clock gate (per gated register, not per bit): standing
+    # cost via energy_static, switching cost per enable toggle via
+    # energy_in. Used by the clock-gating model, never instantiated as a
+    # netlist cell.
+    "icg": CellParams(
+        area_per_bit=22.0, delay_fixed=0.10, energy_in=0.015, energy_static=0.004
+    ),
+    # Isolation banks.
+    "andbank": CellParams(area_per_bit=12.0, delay_fixed=0.12, energy_in=0.010),
+    "orbank": CellParams(area_per_bit=13.0, delay_fixed=0.13, energy_in=0.010),
+    "latbank": CellParams(
+        area_per_bit=30.0, delay_fixed=0.18, energy_in=0.045, energy_static=0.009
+    ),
+}
+
+
+class TechnologyLibrary:
+    """Area / delay / energy oracle for every cell kind.
+
+    ``clock_ghz`` converts pJ-per-cycle into mW
+    (``P[mW] = E[pJ/cycle] * f[GHz]``).
+    """
+
+    def __init__(
+        self,
+        params: Optional[Dict[str, CellParams]] = None,
+        clock_ghz: float = 0.1,
+        fanout_delay: float = 0.03,
+        fanout_energy: float = 0.20,
+    ) -> None:
+        self._params = dict(_DEFAULT_PARAMS)
+        if params:
+            self._params.update(params)
+        self.clock_ghz = clock_ghz
+        #: Extra delay (ns) per unit of input-cap load beyond the first reader.
+        self.fanout_delay = fanout_delay
+        #: Fractional extra driving energy per additional reader.
+        self.fanout_energy = fanout_energy
+
+    # ------------------------------------------------------------------
+    def params(self, cell: Cell) -> CellParams:
+        return self.params_by_kind(cell.kind)
+
+    def params_by_kind(self, kind: str) -> CellParams:
+        try:
+            return self._params[kind]
+        except KeyError:
+            raise PowerModelError(f"no library entry for cell kind {kind!r}") from None
+
+    def with_params(self, **overrides: CellParams) -> "TechnologyLibrary":
+        """A copy of this library with some kinds' parameters replaced."""
+        merged = dict(self._params)
+        merged.update(overrides)
+        return TechnologyLibrary(
+            merged,
+            clock_ghz=self.clock_ghz,
+            fanout_delay=self.fanout_delay,
+            fanout_energy=self.fanout_energy,
+        )
+
+    # ------------------------------------------------------------------
+    # Geometry helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _output_width(cell: Cell) -> int:
+        outs = cell.output_pins
+        if not outs:
+            return 0
+        return max(pin.net.width for pin in outs)
+
+    # ------------------------------------------------------------------
+    # Area
+    # ------------------------------------------------------------------
+    def area(self, cell: Cell) -> float:
+        """Cell area in µm²."""
+        params = self.params(cell)
+        width = self._output_width(cell)
+        if isinstance(cell, Mux):
+            # An n-way mux is n-1 two-way muxes per bit.
+            return params.area_per_bit * width * (cell.n_inputs - 1)
+        if cell.kind in ("mul", "mac", "divmod"):
+            # Array structure: area grows with both operand widths.
+            op_width = cell.net("A").width
+            return params.area_per_bit * op_width * max(1, cell.net("B").width)
+        area = params.area_per_bit * max(1, width)
+        if getattr(cell, "clock_gated", False):
+            # One integrated clock gate per gated register; the feedback
+            # mux the enable implied is removed, roughly a wash per bit.
+            area += self.params_by_kind("icg").area_per_bit
+        return area
+
+    def total_area(self, design) -> float:
+        """Sum of cell areas (the paper's ``A_t``)."""
+        return sum(self.area(cell) for cell in design.cells)
+
+    # ------------------------------------------------------------------
+    # Delay
+    # ------------------------------------------------------------------
+    def delay(self, cell: Cell) -> float:
+        """Input-to-output propagation delay in ns (unloaded)."""
+        params = self.params(cell)
+        width = self._output_width(cell)
+        if isinstance(cell, Mux):
+            depth = max(1, math.ceil(math.log2(cell.n_inputs)))
+            return params.delay_fixed * depth
+        return params.delay_fixed + params.delay_per_bit * width
+
+    def load_delay(self, net: Net) -> float:
+        """Extra delay from fanout loading on ``net``."""
+        load = 0.0
+        for pin in net.readers:
+            load += self.params(pin.cell).input_cap
+        return self.fanout_delay * max(0.0, load - 1.0)
+
+    # ------------------------------------------------------------------
+    # Energy
+    # ------------------------------------------------------------------
+    def activity_factor(self, cell: Cell) -> float:
+        """Internal nodes disturbed per input bit toggle, by module type.
+
+        Adders have short expected carry chains (O(1) cells disturbed);
+        multipliers/MACs disturb a whole partial-product column
+        (O(width)); the remaining operators sit in between.
+        """
+        if not isinstance(cell, ArithModule):
+            return 1.0
+        width = cell.width
+        if cell.kind in ("mul", "mac", "divmod"):
+            return cell.complexity * width / 4.0
+        if cell.kind == "shift":
+            return cell.complexity * max(1.0, math.log2(max(2, width)))
+        return cell.complexity * 2.0
+
+    def input_toggle_energy(self, cell: Cell) -> float:
+        """pJ of internal energy per toggled input bit."""
+        return self.params(cell).energy_in * self.activity_factor(cell)
+
+    def control_toggle_energy(self, cell: Cell) -> float:
+        """pJ per toggle of a control pin (select/enable/gate).
+
+        Enables of registers, latches and isolation banks fan out to one
+        gating element *per data bit*, so their switched capacitance
+        scales with the cell's width — a real and often decisive part of
+        latch-isolation overhead. Mux selects likewise steer every bit.
+        """
+        params = self.params(cell)
+        if cell.kind in ("reg", "lat", "latbank", "andbank", "orbank", "mux"):
+            return params.energy_in * max(1, self._output_width(cell))
+        return params.energy_in
+
+    def output_toggle_energy(self, cell: Cell, net: Net) -> float:
+        """pJ per toggled output bit, including fanout loading."""
+        base = self.params(cell).energy_out
+        return base * (1.0 + self.fanout_energy * max(0, len(net.readers) - 1))
+
+    def static_energy(self, cell: Cell) -> float:
+        """pJ per cycle independent of activity (clock load etc.)."""
+        return self.params(cell).energy_static * self._output_width(cell)
+
+    # ------------------------------------------------------------------
+    def power_mw(self, energy_pj_per_cycle: float) -> float:
+        """Convert pJ/cycle into mW at the library clock frequency."""
+        return energy_pj_per_cycle * self.clock_ghz
+
+
+def default_library() -> TechnologyLibrary:
+    """The stock library used throughout the benchmarks."""
+    return TechnologyLibrary()

@@ -1,0 +1,65 @@
+"""Human-readable power and area report formatting."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import List, Optional
+
+from repro.netlist.design import Design
+from repro.power.estimator import PowerBreakdown
+from repro.power.library import TechnologyLibrary
+
+
+def format_power_report(
+    design: Design,
+    breakdown: PowerBreakdown,
+    top: Optional[int] = 15,
+) -> str:
+    """A DesignPower-style text report: totals, groups, hottest cells."""
+    lines: List[str] = []
+    lines.append(f"Power report for design {design.name!r}")
+    lines.append(f"  cycles observed : {breakdown.cycles}")
+    lines.append(f"  total power     : {breakdown.total_power_mw:9.4f} mW")
+    lines.append(f"  design logic    : {breakdown.group_power_mw('design'):9.4f} mW")
+    overhead = breakdown.overhead_power_mw
+    if overhead > 0:
+        lines.append(f"  isolation banks : {breakdown.group_power_mw('bank'):9.4f} mW")
+        lines.append(f"  activation logic: {breakdown.group_power_mw('activation'):9.4f} mW")
+    ranked = sorted(
+        breakdown.energy_per_cell.items(), key=lambda item: item[1], reverse=True
+    )
+    if top:
+        ranked = ranked[:top]
+    lines.append("  hottest cells:")
+    for cell, energy in ranked:
+        if energy <= 0.0:
+            continue
+        lines.append(
+            f"    {cell.name:<24} {cell.kind:<8} "
+            f"{breakdown.library.power_mw(energy):9.4f} mW"
+        )
+    return "\n".join(lines)
+
+
+def format_area_report(design: Design, library: TechnologyLibrary) -> str:
+    """Area by cell kind, with the isolation overhead called out."""
+    by_kind = defaultdict(float)
+    overhead = defaultdict(float)
+    for cell in design.cells:
+        area = library.area(cell)
+        by_kind[cell.kind] += area
+        role = getattr(cell, "isolation_role", "design")
+        if role != "design":
+            overhead[role] += area
+    total = sum(by_kind.values())
+    lines = [f"Area report for design {design.name!r}"]
+    lines.append(f"  total area : {total:10.0f} um^2")
+    for kind, area in sorted(by_kind.items(), key=lambda item: -item[1]):
+        if area <= 0:
+            continue
+        lines.append(f"    {kind:<10} {area:10.0f} um^2 ({area / total:5.1%})")
+    if overhead:
+        lines.append("  isolation overhead:")
+        for role, area in sorted(overhead.items()):
+            lines.append(f"    {role:<10} {area:10.0f} um^2 ({area / total:5.1%})")
+    return "\n".join(lines)

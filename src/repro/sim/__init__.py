@@ -1,0 +1,61 @@
+"""Cycle-based RTL simulation with switching-activity measurement.
+
+The simulator evaluates a design one clock cycle at a time: primary
+inputs are driven from a stimulus, combinational cells settle in
+topological order, monitors observe the settled net values, and
+registers/latches commit their next state. Monitors accumulate exactly
+the statistics the paper's models consume:
+
+* per-net toggle counts and rates (:class:`~repro.sim.monitor.ToggleMonitor`),
+* signal/joint probabilities of Boolean expressions over control nets
+  (:class:`~repro.sim.probes.ExpressionProbe`),
+* toggle counts conditioned on an expression
+  (:class:`~repro.sim.monitor.ConditionalToggleMonitor`).
+"""
+
+from repro.sim.engine import SimulationResult, Simulator, simulate
+from repro.sim.stimulus import (
+    CompositeStimulus,
+    ControlStream,
+    DataStream,
+    SequenceStimulus,
+    Stimulus,
+    random_stimulus,
+)
+from repro.sim.monitor import ConditionalToggleMonitor, Monitor, ToggleMonitor
+from repro.sim.probes import ExpressionProbe, ProbeSet
+from repro.sim.trace import NetTrace
+from repro.sim.batch import (
+    BatchControlStream,
+    BatchDataStream,
+    BatchProbe,
+    BatchRandomStimulus,
+    BatchSimulator,
+    BatchToggleMonitor,
+    BroadcastStimulus,
+)
+
+__all__ = [
+    "Simulator",
+    "SimulationResult",
+    "simulate",
+    "Stimulus",
+    "ControlStream",
+    "DataStream",
+    "SequenceStimulus",
+    "CompositeStimulus",
+    "random_stimulus",
+    "Monitor",
+    "ToggleMonitor",
+    "ConditionalToggleMonitor",
+    "ExpressionProbe",
+    "ProbeSet",
+    "NetTrace",
+    "BatchSimulator",
+    "BatchToggleMonitor",
+    "BatchProbe",
+    "BatchRandomStimulus",
+    "BatchControlStream",
+    "BatchDataStream",
+    "BroadcastStimulus",
+]

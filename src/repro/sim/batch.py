@@ -1,0 +1,508 @@
+"""Vectorized Monte-Carlo batch simulation (numpy backend).
+
+The scalar engine (:mod:`repro.sim.engine`) simulates one stimulus
+stream; every measured statistic (toggle rate, activation probability)
+then carries sampling noise whose size is hard to bound for correlated
+control streams. The batch engine simulates **N independent
+replications simultaneously** — every net's value is a length-N numpy
+vector, every cell evaluates element-wise — so the same wall-clock work
+yields N i.i.d. measurements and honest *cross-replication* confidence
+intervals (mean ± t·s/√N), with no independence assumption inside a
+replication.
+
+Widths up to 32 bits are supported (values are held in ``uint64``
+lanes, products of 32-bit operands cannot overflow).
+
+Typical use::
+
+    batch = BatchSimulator(design, batch_size=32)
+    stim = BatchRandomStimulus(design, batch_size=32, seed=7,
+                               overrides={"EN": BatchControlStream(0.2, 0.05)})
+    monitor = BatchToggleMonitor()
+    batch.run(stim, cycles=500, monitors=[monitor])
+    mean, half = monitor.toggle_rate_ci(design.net("X"))
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError, StimulusError
+from repro.netlist.arith import (
+    Adder,
+    Comparator,
+    Divider,
+    MacUnit,
+    Multiplier,
+    Shifter,
+    Subtractor,
+)
+from repro.netlist.banks import AndBank, LatchBank, OrBank
+from repro.netlist.cells import Cell
+from repro.netlist.design import Design
+from repro.netlist.logic import (
+    AndGate,
+    BitSelect,
+    Buffer,
+    Mux,
+    NandGate,
+    NorGate,
+    NotGate,
+    OrGate,
+    XnorGate,
+    XorGate,
+)
+from repro.netlist.nets import Net
+from repro.netlist.ports import Constant
+from repro.netlist.seq import Register, TransparentLatch
+from repro.netlist.traversal import combinational_order
+
+_MAX_WIDTH = 32
+
+
+def popcount_u64(array: np.ndarray) -> np.ndarray:
+    """Element-wise population count of a uint64 array (SWAR)."""
+    x = array.copy()
+    x = x - ((x >> np.uint64(1)) & np.uint64(0x5555555555555555))
+    x = (x & np.uint64(0x3333333333333333)) + (
+        (x >> np.uint64(2)) & np.uint64(0x3333333333333333)
+    )
+    x = (x + (x >> np.uint64(4))) & np.uint64(0x0F0F0F0F0F0F0F0F)
+    return (x * np.uint64(0x0101010101010101)) >> np.uint64(56)
+
+
+class BatchMonitor:
+    """Base class for batch monitors."""
+
+    def begin(self, design: Design, batch_size: int) -> None:
+        """Called before the first observed cycle."""
+
+    def observe(self, cycle: int, values: Mapping[Net, np.ndarray]) -> None:
+        raise NotImplementedError
+
+    def finish(self) -> None:
+        """Called after the last observed cycle."""
+
+
+class BatchToggleMonitor(BatchMonitor):
+    """Per-net, per-replication bit-toggle counts with cross-lane CIs."""
+
+    def __init__(self, nets: Optional[Iterable[Net]] = None) -> None:
+        self._restrict = list(nets) if nets is not None else None
+        self.cycles = 0
+
+    def begin(self, design: Design, batch_size: int) -> None:
+        self._watched = (
+            self._restrict if self._restrict is not None else design.nets
+        )
+        self.batch_size = batch_size
+        self.toggles: Dict[Net, np.ndarray] = {
+            net: np.zeros(batch_size, dtype=np.uint64) for net in self._watched
+        }
+        self._previous: Dict[Net, np.ndarray] = {}
+        self.cycles = 0
+
+    def observe(self, cycle: int, values: Mapping[Net, np.ndarray]) -> None:
+        for net in self._watched:
+            value = values[net]
+            prev = self._previous.get(net)
+            if prev is not None:
+                self.toggles[net] += popcount_u64(prev ^ value)
+            self._previous[net] = value.copy()
+        self.cycles += 1
+
+    # ------------------------------------------------------------------
+    def per_lane_rates(self, net: Net) -> np.ndarray:
+        """Toggle rate of each replication."""
+        if self.cycles <= 1:
+            return np.zeros(self.batch_size)
+        return self.toggles[net].astype(np.float64) / (self.cycles - 1)
+
+    def toggle_rate(self, net: Net) -> float:
+        """Mean toggle rate across replications."""
+        return float(self.per_lane_rates(net).mean())
+
+    def toggle_rate_ci(self, net: Net, z: float = 1.96) -> Tuple[float, float]:
+        """(mean, half-width) of the cross-replication confidence interval."""
+        rates = self.per_lane_rates(net)
+        mean = float(rates.mean())
+        if len(rates) < 2:
+            return mean, 0.0
+        half = z * float(rates.std(ddof=1)) / math.sqrt(len(rates))
+        return mean, half
+
+
+class BatchProbe(BatchMonitor):
+    """Truth fraction of a Boolean expression, per replication."""
+
+    def __init__(self, name: str, expr) -> None:
+        self.name = name
+        self.expr = expr
+
+    def begin(self, design: Design, batch_size: int) -> None:
+        from repro.netlist.bitref import resolve_variables
+
+        self._resolved = resolve_variables(design, self.expr.support())
+        self.batch_size = batch_size
+        self.true_counts = np.zeros(batch_size, dtype=np.int64)
+        self.cycles = 0
+
+    def observe(self, cycle: int, values: Mapping[Net, np.ndarray]) -> None:
+        env = {
+            name: ((values[net] >> np.uint64(bit)) & np.uint64(1)).astype(bool)
+            for name, (net, bit) in self._resolved.items()
+        }
+        result = _eval_expr_batch(self.expr, env, self.batch_size)
+        self.true_counts += result.astype(np.int64)
+        self.cycles += 1
+
+    # ------------------------------------------------------------------
+    def per_lane_probabilities(self) -> np.ndarray:
+        if self.cycles == 0:
+            return np.zeros(self.batch_size)
+        return self.true_counts / self.cycles
+
+    @property
+    def probability(self) -> float:
+        return float(self.per_lane_probabilities().mean())
+
+    def probability_ci(self, z: float = 1.96) -> Tuple[float, float]:
+        probabilities = self.per_lane_probabilities()
+        mean = float(probabilities.mean())
+        if len(probabilities) < 2:
+            return mean, 0.0
+        half = z * float(probabilities.std(ddof=1)) / math.sqrt(len(probabilities))
+        return mean, half
+
+
+def _eval_expr_batch(expr, env: Mapping[str, np.ndarray], n: int) -> np.ndarray:
+    from repro.boolean.expr import And, Const, Not, Or, Var
+
+    if isinstance(expr, Const):
+        return np.full(n, expr.value, dtype=bool)
+    if isinstance(expr, Var):
+        return env[expr.name]
+    if isinstance(expr, Not):
+        return ~_eval_expr_batch(expr.child, env, n)
+    if isinstance(expr, And):
+        result = np.ones(n, dtype=bool)
+        for arg in expr.args:
+            result &= _eval_expr_batch(arg, env, n)
+        return result
+    if isinstance(expr, Or):
+        result = np.zeros(n, dtype=bool)
+        for arg in expr.args:
+            result |= _eval_expr_batch(arg, env, n)
+        return result
+    raise SimulationError(f"cannot batch-evaluate {type(expr).__name__}")
+
+
+# ----------------------------------------------------------------------
+# Batched stimulus
+# ----------------------------------------------------------------------
+class BatchControlStream:
+    """Vectorized two-state Markov control stream (see ControlStream)."""
+
+    def __init__(self, probability: float, toggle_rate: Optional[float] = None) -> None:
+        # Reuse the scalar class's parameter validation/derivation.
+        from repro.sim.stimulus import ControlStream
+
+        scalar = ControlStream(probability, toggle_rate)
+        self._a, self._b = scalar._a, scalar._b
+        self._initial = scalar.value
+        self.width = 1
+
+    def begin(self, batch_size: int, rng: np.random.Generator) -> None:
+        self.state = np.full(batch_size, self._initial, dtype=np.uint64)
+
+    def next_values(self, rng: np.random.Generator) -> np.ndarray:
+        draws = rng.random(self.state.shape[0])
+        ones = self.state.astype(bool)
+        fall = ones & (draws < self._a)
+        rise = ~ones & (draws < self._b)
+        self.state = np.where(fall, 0, np.where(rise, 1, self.state)).astype(np.uint64)
+        return self.state
+
+
+class BatchDataStream:
+    """Vectorized data stream with per-bit toggle density."""
+
+    def __init__(self, width: int, toggle_density: float = 0.5) -> None:
+        if not 0.0 <= toggle_density <= 1.0:
+            raise StimulusError(f"toggle_density must be in [0,1], got {toggle_density}")
+        if width > _MAX_WIDTH:
+            raise StimulusError(f"batch simulation supports widths <= {_MAX_WIDTH}")
+        self.width = width
+        self.density = toggle_density
+
+    def begin(self, batch_size: int, rng: np.random.Generator) -> None:
+        self.state = rng.integers(
+            0, 1 << self.width, size=batch_size, dtype=np.uint64
+        )
+
+    def next_values(self, rng: np.random.Generator) -> np.ndarray:
+        flips = np.zeros_like(self.state)
+        for bit in range(self.width):
+            flip = rng.random(self.state.shape[0]) < self.density
+            flips |= flip.astype(np.uint64) << np.uint64(bit)
+        self.state ^= flips
+        return self.state
+
+
+class BatchRandomStimulus:
+    """Per-input batched streams, independent across replications."""
+
+    def __init__(
+        self,
+        design: Design,
+        batch_size: int,
+        seed: int = 0,
+        control_probability: float = 0.5,
+        control_toggle_rate: Optional[float] = None,
+        data_toggle_density: float = 0.5,
+        overrides: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        self.batch_size = batch_size
+        self._rng = np.random.default_rng(seed)
+        self._streams: Dict[str, object] = {}
+        for pi in design.primary_inputs:
+            width = pi.net("Y").width
+            if width == 1:
+                stream = BatchControlStream(control_probability, control_toggle_rate)
+            else:
+                stream = BatchDataStream(width, data_toggle_density)
+            self._streams[pi.name] = stream
+        for name, stream in (overrides or {}).items():
+            if name not in self._streams:
+                raise StimulusError(f"override for unknown input {name!r}")
+            self._streams[name] = stream
+        for name in sorted(self._streams):
+            self._streams[name].begin(batch_size, self._rng)
+        self._cycle = -1
+        self._current: Dict[str, np.ndarray] = {}
+
+    def values(self, cycle: int) -> Mapping[str, np.ndarray]:
+        if cycle != self._cycle:
+            self._cycle = cycle
+            for name in sorted(self._streams):
+                self._current[name] = self._streams[name].next_values(self._rng)
+        return self._current
+
+
+class BroadcastStimulus:
+    """Adapts a scalar stimulus: every replication sees the same stream.
+
+    Used to cross-validate the batch engine against the scalar engine.
+    """
+
+    def __init__(self, scalar_stimulus, batch_size: int) -> None:
+        self.scalar = scalar_stimulus
+        self.batch_size = batch_size
+
+    def values(self, cycle: int) -> Mapping[str, np.ndarray]:
+        scalar_values = self.scalar.values(cycle)
+        return {
+            name: np.full(self.batch_size, value, dtype=np.uint64)
+            for name, value in scalar_values.items()
+        }
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+def _mask(net: Net) -> np.uint64:
+    return np.uint64(net.mask)
+
+
+class BatchSimulator:
+    """N-replication vectorized counterpart of :class:`~repro.sim.engine.Simulator`."""
+
+    def __init__(self, design: Design, batch_size: int = 32) -> None:
+        for net in design.nets:
+            if net.width > _MAX_WIDTH:
+                raise SimulationError(
+                    f"net {net.name!r} is {net.width} bits; the batch engine "
+                    f"supports widths <= {_MAX_WIDTH}"
+                )
+        self.design = design
+        self.batch_size = batch_size
+        self._order = combinational_order(design)
+        self._registers = design.registers
+        self._stateful_comb = [
+            c for c in self._order if getattr(c, "has_state", False)
+        ]
+        self.reset()
+
+    def reset(self) -> None:
+        n = self.batch_size
+        self.cycle = 0
+        self.values: Dict[Net, np.ndarray] = {
+            net: np.zeros(n, dtype=np.uint64) for net in self.design.nets
+        }
+        self.state: Dict[Cell, np.ndarray] = {}
+        for reg in self._registers:
+            initial = np.full(n, reg.net("Q").clip(reg.reset_value), dtype=np.uint64)
+            self.state[reg] = initial
+            self.values[reg.net("Q")] = initial.copy()
+        for cell in self._stateful_comb:
+            out = cell.net(cell.output_ports[0])
+            self.state[cell] = np.full(
+                n, out.clip(getattr(cell, "reset_value", 0)), dtype=np.uint64
+            )
+        for const in self.design.constants:
+            net = const.net("Y")
+            self.values[net] = np.full(n, net.clip(const.value), dtype=np.uint64)
+
+    # ------------------------------------------------------------------
+    def step(self, pi_values: Mapping[str, np.ndarray]) -> Dict[Net, np.ndarray]:
+        for pi in self.design.primary_inputs:
+            net = pi.net("Y")
+            try:
+                self.values[net] = pi_values[pi.name].astype(np.uint64) & _mask(net)
+            except KeyError:
+                raise SimulationError(
+                    f"batch stimulus provides no value for input {pi.name!r}"
+                ) from None
+        for cell in self._order:
+            self._evaluate(cell)
+        return self.values
+
+    def commit(self) -> None:
+        updates: Dict[Cell, np.ndarray] = {}
+        for reg in self._registers:
+            d = self.values[reg.net("D")]
+            next_state = d & _mask(reg.net("Q"))
+            if reg.has_enable:
+                enable = self.values[reg.net("EN")].astype(bool)
+                next_state = np.where(enable, next_state, self.state[reg])
+            updates[reg] = next_state.astype(np.uint64)
+        for cell in self._stateful_comb:
+            enable_port = "G" if isinstance(cell, TransparentLatch) else "EN"
+            enable = self.values[cell.net(enable_port)].astype(bool)
+            d = self.values[cell.net("D")] & _mask(
+                cell.net(cell.output_ports[0])
+            )
+            updates[cell] = np.where(enable, d, self.state[cell]).astype(np.uint64)
+        self.state.update(updates)
+        for reg in self._registers:
+            self.values[reg.net("Q")] = self.state[reg].copy()
+        self.cycle += 1
+
+    def run(
+        self,
+        stimulus,
+        cycles: int,
+        monitors: Optional[Sequence[BatchMonitor]] = None,
+        warmup: int = 0,
+    ) -> None:
+        monitors = list(monitors or [])
+        for monitor in monitors:
+            monitor.begin(self.design, self.batch_size)
+        for i in range(warmup + cycles):
+            settled = self.step(stimulus.values(self.cycle))
+            if i >= warmup:
+                for monitor in monitors:
+                    monitor.observe(self.cycle, settled)
+            self.commit()
+        for monitor in monitors:
+            monitor.finish()
+
+    # ------------------------------------------------------------------
+    def _evaluate(self, cell: Cell) -> None:
+        values = self.values
+        if isinstance(cell, Adder):
+            out = cell.net("Y")
+            values[out] = (values[cell.net("A")] + values[cell.net("B")]) & _mask(out)
+        elif isinstance(cell, Subtractor):
+            out = cell.net("Y")
+            values[out] = (values[cell.net("A")] - values[cell.net("B")]) & _mask(out)
+        elif isinstance(cell, (Multiplier,)):
+            out = cell.net("Y")
+            values[out] = (values[cell.net("A")] * values[cell.net("B")]) & _mask(out)
+        elif isinstance(cell, MacUnit):
+            out = cell.net("Y")
+            values[out] = (
+                values[cell.net("A")] * values[cell.net("B")] + values[cell.net("C")]
+            ) & _mask(out)
+        elif isinstance(cell, Divider):
+            q_net, r_net = cell.net("Y"), cell.net("R")
+            a, b = values[cell.net("A")], values[cell.net("B")]
+            safe = np.where(b == 0, np.uint64(1), b)
+            quotient = np.where(b == 0, np.uint64(q_net.mask), a // safe)
+            remainder = np.where(b == 0, a, a % safe)
+            values[q_net] = quotient & _mask(q_net)
+            values[r_net] = remainder & _mask(r_net)
+        elif isinstance(cell, Comparator):
+            a, b = values[cell.net("A")], values[cell.net("B")]
+            op = cell.op
+            result = {
+                "eq": a == b, "ne": a != b, "lt": a < b,
+                "le": a <= b, "gt": a > b, "ge": a >= b,
+            }[op]
+            values[cell.net("Y")] = result.astype(np.uint64)
+        elif isinstance(cell, Shifter):
+            out = cell.net("Y")
+            a = values[cell.net("A")]
+            amount = np.minimum(values[cell.net("B")], np.uint64(63))
+            if cell.direction == "left":
+                values[out] = (a << amount) & _mask(out)
+            else:
+                values[out] = (a >> amount) & _mask(out)
+        elif isinstance(cell, Mux):
+            out = cell.net("Y")
+            sel = values[cell.net("S")] % np.uint64(cell.n_inputs)
+            result = values[cell.net("D0")].copy()
+            for i in range(1, cell.n_inputs):
+                result = np.where(sel == i, values[cell.net(f"D{i}")], result)
+            values[out] = result & _mask(out)
+        elif isinstance(cell, AndGate):
+            out = cell.net("Y")
+            values[out] = values[cell.net("A")] & values[cell.net("B")]
+        elif isinstance(cell, OrGate):
+            out = cell.net("Y")
+            values[out] = values[cell.net("A")] | values[cell.net("B")]
+        elif isinstance(cell, XorGate):
+            out = cell.net("Y")
+            values[out] = values[cell.net("A")] ^ values[cell.net("B")]
+        elif isinstance(cell, NandGate):
+            out = cell.net("Y")
+            values[out] = ~(values[cell.net("A")] & values[cell.net("B")]) & _mask(out)
+        elif isinstance(cell, NorGate):
+            out = cell.net("Y")
+            values[out] = ~(values[cell.net("A")] | values[cell.net("B")]) & _mask(out)
+        elif isinstance(cell, XnorGate):
+            out = cell.net("Y")
+            values[out] = ~(values[cell.net("A")] ^ values[cell.net("B")]) & _mask(out)
+        elif isinstance(cell, NotGate):
+            out = cell.net("Y")
+            values[out] = ~values[cell.net("A")] & _mask(out)
+        elif isinstance(cell, Buffer):
+            values[cell.net("Y")] = values[cell.net("A")]
+        elif isinstance(cell, BitSelect):
+            values[cell.net("Y")] = (
+                values[cell.net("A")] >> np.uint64(cell.bit)
+            ) & np.uint64(1)
+        elif isinstance(cell, (AndBank, OrBank)):
+            out = cell.net("Y")
+            enable = values[cell.net("EN")].astype(bool)
+            d = values[cell.net("D")]
+            if isinstance(cell, AndBank):
+                values[out] = np.where(enable, d, np.uint64(0)).astype(np.uint64)
+            else:
+                values[out] = np.where(enable, d, _mask(out)).astype(np.uint64)
+        elif isinstance(cell, (TransparentLatch, LatchBank)):
+            out_port = cell.output_ports[0]
+            out = cell.net(out_port)
+            enable_port = "G" if isinstance(cell, TransparentLatch) else "EN"
+            enable = values[cell.net(enable_port)].astype(bool)
+            d = values[cell.net("D")] & _mask(out)
+            values[out] = np.where(enable, d, self.state[cell]).astype(np.uint64)
+        elif isinstance(cell, Constant):
+            pass  # set at reset
+        else:
+            raise SimulationError(
+                f"batch engine has no implementation for cell kind {cell.kind!r}"
+            )

@@ -1,0 +1,167 @@
+"""Switching-activity monitors.
+
+Monitors observe the settled net values once per cycle and accumulate the
+statistics that drive the paper's power models:
+
+* :class:`ToggleMonitor` — per-net bit-toggle counts; ``toggle_rate`` is
+  the paper's ``Tr``: *average number of (bit) toggles per clock cycle*.
+* :class:`ConditionalToggleMonitor` — toggle counts split by the truth
+  value of a Boolean condition, used to validate the Eq. (2) scaling
+  ``Tr' = Tr / Pr(AS)`` against directly measured conditional rates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional
+
+from repro.boolean.expr import Expr
+from repro.netlist.design import Design
+from repro.netlist.nets import Net
+
+
+def popcount(value: int) -> int:
+    """Number of set bits (Python 3.9-compatible)."""
+    return bin(value).count("1")
+
+
+class Monitor:
+    """Base class; subclasses override the three hooks."""
+
+    def begin(self, design: Design) -> None:
+        """Called before the first observed cycle."""
+
+    def observe(self, cycle: int, values: Mapping[Net, int]) -> None:
+        """Called once per cycle with the settled net values."""
+        raise NotImplementedError
+
+    def finish(self) -> None:
+        """Called after the last observed cycle."""
+
+
+class ToggleMonitor(Monitor):
+    """Counts bit toggles per net between consecutive observed cycles.
+
+    Parameters
+    ----------
+    nets:
+        Restrict to these nets (default: every net in the design).
+    """
+
+    def __init__(self, nets: Optional[Iterable[Net]] = None) -> None:
+        self._restrict = list(nets) if nets is not None else None
+        self._previous: Dict[Net, int] = {}
+        self.toggles: Dict[Net, int] = {}
+        self.ones: Dict[Net, int] = {}
+        self.cycles = 0
+
+    def begin(self, design: Design) -> None:
+        watched = self._restrict if self._restrict is not None else design.nets
+        self._watched = list(watched)
+        self.toggles = {net: 0 for net in self._watched}
+        self.ones = {net: 0 for net in self._watched}
+        self._previous = {}
+        self.cycles = 0
+
+    def observe(self, cycle: int, values: Mapping[Net, int]) -> None:
+        for net in self._watched:
+            value = values[net]
+            prev = self._previous.get(net)
+            if prev is not None:
+                self.toggles[net] += popcount(prev ^ value)
+            self.ones[net] += popcount(value)
+            self._previous[net] = value
+        self.cycles += 1
+
+    # ------------------------------------------------------------------
+    def toggle_rate(self, net: Net) -> float:
+        """Average bit toggles per cycle on ``net`` (the paper's Tr)."""
+        if self.cycles <= 1:
+            return 0.0
+        return self.toggles[net] / (self.cycles - 1)
+
+    def toggle_rates(self) -> Dict[Net, float]:
+        return {net: self.toggle_rate(net) for net in self.toggles}
+
+    def per_bit_toggle_rate(self, net: Net) -> float:
+        """Toggle rate normalised by bus width."""
+        return self.toggle_rate(net) / net.width
+
+    def one_probability(self, net: Net) -> float:
+        """Average fraction of set bits on ``net`` (signal probability).
+
+        For one-bit control nets this is the paper's static probability;
+        the clock-gating model uses it to scale standing clock energy.
+        """
+        if self.cycles == 0:
+            return 0.0
+        return self.ones[net] / (self.cycles * net.width)
+
+    def toggle_rate_stderr(self, net: Net) -> float:
+        """Binomial standard error of :meth:`toggle_rate`.
+
+        Each bit-cycle is treated as an independent Bernoulli toggle
+        opportunity; correlated data streams converge slower than this
+        suggests, so treat it as a lower bound on the uncertainty.
+        """
+        if self.cycles <= 1:
+            return 0.0
+        samples = (self.cycles - 1) * net.width
+        p = min(1.0, self.toggle_rate(net) / net.width)
+        per_bit_stderr = (p * (1.0 - p) / samples) ** 0.5
+        return per_bit_stderr * net.width
+
+
+class ConditionalToggleMonitor(Monitor):
+    """Toggle counts for one net, split by a Boolean condition.
+
+    The condition is an expression over one-bit net names, evaluated on
+    the same settled values. A toggle between cycle ``k-1`` and ``k`` is
+    attributed according to the condition at cycle ``k`` (the cycle in
+    which the new value appears — the convention under which Eq. (2)'s
+    scaling is exact for an ideally-isolated module).
+    """
+
+    def __init__(self, net: Net, condition: Expr) -> None:
+        self.net = net
+        self.condition = condition
+        self._support = sorted(condition.support())
+        self._previous: Optional[int] = None
+        self.toggles_true = 0
+        self.toggles_false = 0
+        self.cycles_true = 0
+        self.cycles_false = 0
+
+    def begin(self, design: Design) -> None:
+        from repro.netlist.bitref import resolve_variables
+
+        self._resolved = resolve_variables(design, self._support)
+        self._previous = None
+        self.toggles_true = self.toggles_false = 0
+        self.cycles_true = self.cycles_false = 0
+
+    def observe(self, cycle: int, values: Mapping[Net, int]) -> None:
+        from repro.netlist.bitref import sample_env
+
+        env = sample_env(self._resolved, values)
+        condition = self.condition.evaluate(env)
+        value = values[self.net]
+        if self._previous is not None:
+            delta = popcount(self._previous ^ value)
+            if condition:
+                self.toggles_true += delta
+            else:
+                self.toggles_false += delta
+        if condition:
+            self.cycles_true += 1
+        else:
+            self.cycles_false += 1
+        self._previous = value
+
+    # ------------------------------------------------------------------
+    @property
+    def rate_when_true(self) -> float:
+        return self.toggles_true / self.cycles_true if self.cycles_true else 0.0
+
+    @property
+    def rate_when_false(self) -> float:
+        return self.toggles_false / self.cycles_false if self.cycles_false else 0.0

@@ -1,0 +1,232 @@
+"""Stimulus generators.
+
+A stimulus maps a cycle number to values for every primary input. The
+paper's experiments need precise control over *control-signal
+statistics*: the static probability and toggle rate of activation-related
+signals (Section 6 sweeps both). :class:`ControlStream` provides exactly
+that via a two-state Markov chain whose stationary distribution and
+expected transition rate match the requested statistics.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Mapping, Optional, Protocol, Sequence
+
+from repro.errors import StimulusError
+from repro.netlist.design import Design
+
+
+class Stimulus(Protocol):
+    """Anything that can produce primary-input values per cycle."""
+
+    def values(self, cycle: int) -> Mapping[str, int]:
+        """Values for every primary input at the given cycle."""
+        ...  # pragma: no cover - protocol
+
+
+class _Stream:
+    """One named input's value generator."""
+
+    def next_value(self, rng: random.Random) -> int:
+        raise NotImplementedError
+
+
+class DataStream(_Stream):
+    """A data bus stream with a controllable per-bit toggle density.
+
+    Each cycle every bit flips independently with probability
+    ``toggle_density`` (1.0 gives fresh uniform randomness each cycle via
+    repeated flips being equivalent to... not uniform; use
+    ``uniform=True`` for i.i.d. uniform words instead).
+    """
+
+    def __init__(
+        self,
+        width: int,
+        toggle_density: float = 0.5,
+        uniform: bool = False,
+        initial: int = 0,
+    ) -> None:
+        if not 0.0 <= toggle_density <= 1.0:
+            raise StimulusError(f"toggle_density must be in [0,1], got {toggle_density}")
+        self.width = width
+        self.toggle_density = toggle_density
+        self.uniform = uniform
+        self.value = initial & ((1 << width) - 1)
+
+    def next_value(self, rng: random.Random) -> int:
+        if self.uniform:
+            self.value = rng.getrandbits(self.width)
+            return self.value
+        flips = 0
+        for bit in range(self.width):
+            if rng.random() < self.toggle_density:
+                flips |= 1 << bit
+        self.value ^= flips
+        return self.value
+
+
+class ControlStream(_Stream):
+    """A one-bit control stream with target static probability & toggle rate.
+
+    Modelled as a two-state Markov chain with transition probabilities
+    ``a = P(1->0)`` and ``b = P(0->1)``. Stationary one-probability is
+    ``b/(a+b)`` and the expected toggles per cycle is ``2ab/(a+b)``.
+    Solving for a requested ``(p, toggle_rate)`` gives ``a = t/(2p)`` and
+    ``b = t/(2(1-p))``, which is feasible iff ``t <= 2*min(p, 1-p)``.
+    """
+
+    def __init__(self, probability: float, toggle_rate: Optional[float] = None) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise StimulusError(f"probability must be in [0,1], got {probability}")
+        if toggle_rate is None:
+            # Memoryless: independent Bernoulli draws each cycle.
+            toggle_rate = 2.0 * probability * (1.0 - probability)
+        limit = 2.0 * min(probability, 1.0 - probability)
+        if toggle_rate < 0.0 or toggle_rate > limit + 1e-12:
+            raise StimulusError(
+                f"toggle_rate {toggle_rate} infeasible for probability "
+                f"{probability} (max {limit})"
+            )
+        self.probability = probability
+        self.toggle_rate = toggle_rate
+        if probability in (0.0, 1.0) or toggle_rate == 0.0:
+            self._a = self._b = 0.0
+            self.value = int(probability >= 0.5)
+        else:
+            self._a = toggle_rate / (2.0 * probability)
+            self._b = toggle_rate / (2.0 * (1.0 - probability))
+            self.value = 1 if probability >= 0.5 else 0
+
+    def next_value(self, rng: random.Random) -> int:
+        if self.value:
+            if rng.random() < self._a:
+                self.value = 0
+        else:
+            if rng.random() < self._b:
+                self.value = 1
+        return self.value
+
+
+class ConstantStream(_Stream):
+    """A stream pinned to one value."""
+
+    def __init__(self, value: int) -> None:
+        self.value = value
+
+    def next_value(self, rng: random.Random) -> int:
+        return self.value
+
+
+class CompositeStimulus:
+    """Per-input streams with a shared seeded RNG.
+
+    Streams are advanced exactly once per cycle in input-name order, so a
+    run is reproducible for a given seed regardless of how the simulator
+    queries values.
+    """
+
+    def __init__(self, streams: Mapping[str, _Stream], seed: int = 0) -> None:
+        self._streams = dict(streams)
+        self._rng = random.Random(seed)
+        self._cycle = -1
+        self._current: Dict[str, int] = {}
+
+    def values(self, cycle: int) -> Mapping[str, int]:
+        if cycle != self._cycle:
+            self._cycle = cycle
+            for name in sorted(self._streams):
+                self._current[name] = self._streams[name].next_value(self._rng)
+        return self._current
+
+    def stream(self, name: str) -> _Stream:
+        return self._streams[name]
+
+
+class SequenceStimulus:
+    """Directed stimulus: an explicit list of per-cycle input maps.
+
+    Repeats the last vector (or cycles through, with ``wrap=True``) when
+    the simulation runs longer than the sequence.
+    """
+
+    def __init__(self, vectors: Sequence[Mapping[str, int]], wrap: bool = False) -> None:
+        if not vectors:
+            raise StimulusError("SequenceStimulus needs at least one vector")
+        self.vectors = [dict(v) for v in vectors]
+        self.wrap = wrap
+
+    @classmethod
+    def from_csv(cls, text: str, wrap: bool = False) -> "SequenceStimulus":
+        """Parse a CSV trace: header row of input names, one row per cycle.
+
+        An optional leading ``cycle`` column is ignored, so traces written
+        by :meth:`repro.sim.trace.NetTrace.to_csv` replay directly.
+        Values may be decimal or ``0x``-prefixed hexadecimal.
+        """
+        lines = [line.strip() for line in text.splitlines() if line.strip()]
+        if len(lines) < 2:
+            raise StimulusError("CSV trace needs a header and at least one row")
+        header = [name.strip() for name in lines[0].split(",")]
+        skip_first = header and header[0].lower() == "cycle"
+        names = header[1:] if skip_first else header
+        vectors = []
+        for lineno, line in enumerate(lines[1:], start=2):
+            fields = [field.strip() for field in line.split(",")]
+            if skip_first:
+                fields = fields[1:]
+            if len(fields) != len(names):
+                raise StimulusError(
+                    f"CSV trace line {lineno}: expected {len(names)} values, "
+                    f"got {len(fields)}"
+                )
+            try:
+                vectors.append(
+                    {name: int(value, 0) for name, value in zip(names, fields)}
+                )
+            except ValueError as exc:
+                raise StimulusError(f"CSV trace line {lineno}: {exc}") from exc
+        return cls(vectors, wrap=wrap)
+
+    @classmethod
+    def from_csv_file(cls, path: str, wrap: bool = False) -> "SequenceStimulus":
+        """Read :meth:`from_csv` input from a file."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_csv(handle.read(), wrap=wrap)
+
+    def values(self, cycle: int) -> Mapping[str, int]:
+        if cycle < len(self.vectors):
+            return self.vectors[cycle]
+        if self.wrap:
+            return self.vectors[cycle % len(self.vectors)]
+        return self.vectors[-1]
+
+
+def random_stimulus(
+    design: Design,
+    seed: int = 0,
+    control_probability: float = 0.5,
+    control_toggle_rate: Optional[float] = None,
+    data_toggle_density: float = 0.5,
+    overrides: Optional[Mapping[str, _Stream]] = None,
+) -> CompositeStimulus:
+    """A sensible default stimulus for a whole design.
+
+    One-bit inputs become :class:`ControlStream`; wider inputs become
+    :class:`DataStream`. ``overrides`` replaces the stream of specific
+    inputs (e.g. to sweep one activation signal's statistics).
+    """
+    streams: Dict[str, _Stream] = {}
+    for pi in design.primary_inputs:
+        width = pi.net("Y").width
+        if width == 1:
+            streams[pi.name] = ControlStream(control_probability, control_toggle_rate)
+        else:
+            streams[pi.name] = DataStream(width, toggle_density=data_toggle_density)
+    if overrides:
+        for name, stream in overrides.items():
+            if name not in streams:
+                raise StimulusError(f"override for unknown input {name!r}")
+            streams[name] = stream
+    return CompositeStimulus(streams, seed=seed)

@@ -1,0 +1,20 @@
+"""Static timing analysis and isolation slack-impact estimation.
+
+Operand isolation affects timing three ways (paper Section 5.1): the
+isolation banks add delay on operand paths, the activation logic creates
+new paths merging at the banks, and the activation logic loads the
+control signals it taps. :mod:`repro.timing.sta` measures all of this
+exactly on a (possibly transformed) netlist; :mod:`repro.timing.impact`
+predicts it cheaply *before* a transform, which is what Algorithm 1's
+slack-rejection filter uses.
+"""
+
+from repro.timing.sta import TimingReport, analyze_timing
+from repro.timing.impact import IsolationTimingImpact, estimate_isolation_impact
+
+__all__ = [
+    "TimingReport",
+    "analyze_timing",
+    "IsolationTimingImpact",
+    "estimate_isolation_impact",
+]

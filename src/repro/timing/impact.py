@@ -1,0 +1,113 @@
+"""Pre-transform estimation of isolation's timing impact.
+
+Algorithm 1 rejects a candidate *before* doing any work when isolating it
+would drop its slack below a threshold. This module predicts the
+post-isolation slack of a candidate from the original design's timing
+report, without building the transformed netlist:
+
+* operand paths gain one bank delay;
+* the activation signal arrives at ``max(arrival of tapped control nets)
+  + tree_depth · gate_delay`` and merges into the bank — it can become
+  the new dominant path;
+* tapped control nets see extra load (one gate input per literal).
+
+The estimate is intentionally slightly conservative (it assumes the
+worst-case activation tree depth); the exact number comes from re-running
+:func:`repro.timing.sta.analyze_timing` on the transformed design, which
+the benchmarks do for their reported slack columns.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.boolean.expr import Expr
+from repro.netlist.banks import AndBank, LatchBank, OrBank
+from repro.netlist.cells import Cell
+from repro.netlist.design import Design
+from repro.power.library import TechnologyLibrary
+from repro.timing.sta import TimingReport
+
+_BANK_DELAY_KIND = {"and": "andbank", "or": "orbank", "latch": "latbank"}
+
+#: Unloaded delays for the gates an activation tree is built from; keyed
+#: off the library at call time, these are only the tree-depth weights.
+_ACT_GATE_DEPTH_DELAY = 0.12
+
+
+@dataclass
+class IsolationTimingImpact:
+    """Predicted timing consequences of isolating one candidate."""
+
+    candidate: Cell
+    style: str
+    bank_delay: float
+    activation_arrival: float
+    new_output_arrival: float
+    estimated_slack: float
+
+    def violates(self, slack_threshold: float) -> bool:
+        """True if the candidate should be rejected (Algorithm 1, line 7)."""
+        return self.estimated_slack < slack_threshold
+
+
+def _activation_depth(expr: Expr) -> int:
+    """Balanced-tree depth of the synthesized activation logic.
+
+    A bare variable needs no gates at all (the existing control net *is*
+    the activation signal); a single negated literal costs one inverter.
+    """
+    from repro.boolean.expr import Var
+
+    if isinstance(expr, Var):
+        return 0
+    literals = max(1, expr.literal_count())
+    return 1 + math.ceil(math.log2(literals)) if literals > 1 else 1
+
+
+def estimate_isolation_impact(
+    design: Design,
+    candidate: Cell,
+    activation: Expr,
+    style: str,
+    library: TechnologyLibrary,
+    report: TimingReport,
+) -> IsolationTimingImpact:
+    """Predict the candidate's slack if it were isolated with ``style``."""
+    bank_kind = _BANK_DELAY_KIND[style]
+    probe = {"and": AndBank, "or": OrBank, "latch": LatchBank}[style]("__probe__")
+    bank_delay = library.params(probe).delay_fixed
+
+    # Activation signal arrival: tapped control nets + gate tree depth.
+    from repro.netlist.bitref import parse_bitref
+
+    support_arrival = 0.0
+    for name in activation.support():
+        net, _bit = parse_bitref(design, name)
+        support_arrival = max(support_arrival, report.arrival.get(net, 0.0))
+    act_arrival = support_arrival + _activation_depth(activation) * _ACT_GATE_DEPTH_DELAY
+
+    # Operand arrival after the bank: max over data inputs and the AS path.
+    operand_arrival = 0.0
+    for pin in candidate.input_pins:
+        if not pin.is_control:
+            operand_arrival = max(operand_arrival, report.arrival.get(pin.net, 0.0))
+    gated_arrival = max(operand_arrival, act_arrival) + bank_delay
+
+    out_net = candidate.net("Y")
+    old_out_arrival = report.arrival.get(out_net, 0.0)
+    old_in_arrival = operand_arrival
+    new_out_arrival = gated_arrival + (old_out_arrival - old_in_arrival)
+
+    old_slack = report.slack(out_net)
+    estimated_slack = old_slack - (new_out_arrival - old_out_arrival)
+    return IsolationTimingImpact(
+        candidate=candidate,
+        style=style,
+        bank_delay=bank_delay,
+        activation_arrival=act_arrival,
+        new_output_arrival=new_out_arrival,
+        estimated_slack=estimated_slack,
+    )

@@ -1,0 +1,32 @@
+"""Verification: operand isolation must never change observable behaviour.
+
+:mod:`repro.verify.equivalence` replays the original and transformed
+designs against the same stimulus and checks *observability-aware
+sequential equivalence*: every value actually loaded into an
+architectural register, and every primary-output value, must match
+cycle-for-cycle. (Unobserved values — exactly the redundant computations
+isolation suppresses — are allowed to differ; that is the point of the
+transform.)
+
+:mod:`repro.verify.observability` provides the BDD-based static checks:
+activation functions derived on the transformed design must imply the
+original ones, and simplification must preserve functions exactly.
+"""
+
+from repro.verify.equivalence import (
+    EquivalenceReport,
+    check_observable_equivalence,
+    assert_observable_equivalence,
+)
+from repro.verify.observability import (
+    activation_preserved_after_isolation,
+    functions_equivalent,
+)
+
+__all__ = [
+    "EquivalenceReport",
+    "check_observable_equivalence",
+    "assert_observable_equivalence",
+    "functions_equivalent",
+    "activation_preserved_after_isolation",
+]

@@ -1,0 +1,136 @@
+"""Observability-aware sequential equivalence checking by co-simulation.
+
+The correctness contract of operand isolation: whenever a register loads
+(its enable is high) or a primary output is sampled, the transformed
+design produces exactly the value the original design produces. During
+redundant cycles the datapath *internals* may — and should — differ.
+
+:func:`check_observable_equivalence` steps both designs in lockstep with
+the same stimulus and compares:
+
+* every primary-output net, every cycle;
+* every architectural register's D value on cycles where the register
+  loads (always, or enable high) — equivalently, the register contents
+  never diverge.
+
+Registers are matched by name; the isolation transform never renames or
+adds architectural registers (latch banks are not registers), so the
+mapping is total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import EquivalenceError
+from repro.netlist.design import Design
+from repro.sim.engine import Simulator
+from repro.sim.stimulus import Stimulus
+
+
+@dataclass
+class Mismatch:
+    """One observed divergence."""
+
+    cycle: int
+    kind: str  # "output" | "register"
+    name: str
+    expected: int
+    actual: int
+
+    def __str__(self) -> str:
+        return (
+            f"cycle {self.cycle}: {self.kind} {self.name!r} "
+            f"expected {self.expected:#x}, got {self.actual:#x}"
+        )
+
+
+@dataclass
+class EquivalenceReport:
+    """Outcome of one co-simulation run."""
+
+    cycles: int
+    mismatches: List[Mismatch] = field(default_factory=list)
+
+    @property
+    def equivalent(self) -> bool:
+        return not self.mismatches
+
+
+def check_observable_equivalence(
+    golden: Design,
+    candidate: Design,
+    stimulus: Stimulus,
+    cycles: int,
+    max_mismatches: int = 10,
+    compare_registers: bool = True,
+) -> EquivalenceReport:
+    """Co-simulate and compare observable state.
+
+    Both designs must have the same primary inputs (the candidate may
+    have extra internals — isolation logic — but not extra PIs) and the
+    golden design's registers must all exist in the candidate.
+
+    ``compare_registers=False`` restricts the comparison to primary
+    outputs. This is the right contract for *look-ahead* isolation
+    (:mod:`repro.core.lookahead`), which deliberately lets free-running
+    pipeline registers capture blocked values in cycles where the
+    captured value is provably never consumed — the architectural
+    outputs still match cycle-for-cycle.
+    """
+    golden_sim = Simulator(golden)
+    candidate_sim = Simulator(candidate)
+
+    golden_outputs = {po.name: po.net("A") for po in golden.primary_outputs}
+    candidate_outputs = {po.name: po.net("A") for po in candidate.primary_outputs}
+    missing = set(golden_outputs) - set(candidate_outputs)
+    if missing:
+        raise EquivalenceError(f"candidate design lacks outputs: {sorted(missing)}")
+
+    golden_regs = {reg.name: reg for reg in golden.registers} if compare_registers else {}
+    candidate_regs = {reg.name: reg for reg in candidate.registers}
+    missing_regs = set(golden_regs) - set(candidate_regs)
+    if missing_regs:
+        raise EquivalenceError(f"candidate design lacks registers: {sorted(missing_regs)}")
+
+    report = EquivalenceReport(cycles=cycles)
+    for cycle in range(cycles):
+        values = stimulus.values(cycle)
+        golden_values = golden_sim.step(values)
+        candidate_values = candidate_sim.step(values)
+
+        for name, net in golden_outputs.items():
+            expected = golden_values[net]
+            actual = candidate_values[candidate_outputs[name]]
+            if expected != actual:
+                report.mismatches.append(
+                    Mismatch(cycle, "output", name, expected, actual)
+                )
+        golden_sim.commit()
+        candidate_sim.commit()
+        for name, reg in golden_regs.items():
+            expected = golden_sim.state[reg]
+            actual = candidate_sim.state[candidate_regs[name]]
+            if expected != actual:
+                report.mismatches.append(
+                    Mismatch(cycle, "register", name, expected, actual)
+                )
+        if len(report.mismatches) >= max_mismatches:
+            break
+    return report
+
+
+def assert_observable_equivalence(
+    golden: Design,
+    candidate: Design,
+    stimulus: Stimulus,
+    cycles: int,
+) -> None:
+    """Raise :class:`EquivalenceError` with details on any divergence."""
+    report = check_observable_equivalence(golden, candidate, stimulus, cycles)
+    if not report.equivalent:
+        shown = "\n  ".join(str(m) for m in report.mismatches[:10])
+        raise EquivalenceError(
+            f"designs {golden.name!r} and {candidate.name!r} diverge:\n  {shown}"
+        )

@@ -1,0 +1,70 @@
+"""Static (BDD-based) checks on activation functions.
+
+Two properties back the dynamic equivalence checks:
+
+* :func:`functions_equivalent` — canonical function comparison, used to
+  verify that algebraic simplification and factoring never change an
+  activation function;
+* :func:`activation_preserved_after_isolation` — after isolating a
+  candidate, re-deriving activation functions on the transformed design
+  must give every *other* module a function that is equivalent **under
+  the isolated module's activation context**: outside that context the
+  re-derived function may be stronger (the banks legitimately block more
+  observability), but it must never claim activity the original denied.
+
+Formally, for each module m with original function f and re-derived
+function f', we require ``f' → f`` (no new activity) and ``f ∧ ctx → f'``
+where ``ctx`` is the conjunction of every inserted activation signal's
+defining expression being consistent with its net variable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.boolean.bdd import BddManager
+from repro.boolean.expr import TRUE, Expr, and_, not_, or_
+from repro.core.activation import derive_activation_functions
+from repro.core.isolate import IsolationInstance
+from repro.netlist.design import Design
+
+
+def functions_equivalent(a: Expr, b: Expr, manager: Optional[BddManager] = None) -> bool:
+    """Canonical equivalence of two Boolean expressions."""
+    manager = manager or BddManager()
+    return manager.equivalent(a, b)
+
+
+def activation_preserved_after_isolation(
+    original_functions: Dict[str, Expr],
+    transformed: Design,
+    instances: Iterable[IsolationInstance],
+    manager: Optional[BddManager] = None,
+) -> bool:
+    """Check the isolation-composition property described above.
+
+    ``original_functions`` maps module names to their pre-transform
+    activation functions; ``instances`` are the applied transforms (their
+    activation nets appear as fresh variables in re-derived functions).
+    """
+    manager = manager or BddManager()
+    analysis = derive_activation_functions(transformed)
+
+    # Context: each inserted AS net carries its defining expression.
+    context: Expr = TRUE
+    substitution: Dict[str, Expr] = {}
+    for instance in instances:
+        as_name = instance.activation_net.name
+        substitution[as_name] = instance.activation
+
+    for module in transformed.datapath_modules:
+        original = original_functions.get(module.name)
+        if original is None:
+            continue
+        rederived = analysis.of_module(module)
+        # Substitute AS variables by their defining expressions so both
+        # functions range over the same primary control variables.
+        grounded = rederived.substitute(substitution)
+        if not manager.implies(grounded, original):
+            return False
+    return True

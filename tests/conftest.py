@@ -1,0 +1,79 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.designs import (
+    alu_control_dominated,
+    design1,
+    design2,
+    fir_datapath,
+    paper_example,
+    shared_bus_datapath,
+)
+from repro.netlist.builder import DesignBuilder
+from repro.power.library import default_library
+from repro.sim.stimulus import ControlStream, random_stimulus
+
+
+@pytest.fixture
+def fig1():
+    """The paper's Figure 1 circuit."""
+    return paper_example(width=8)
+
+
+@pytest.fixture
+def d1():
+    return design1(width=12)
+
+
+@pytest.fixture
+def d2():
+    return design2(width=16)
+
+
+@pytest.fixture
+def fir():
+    return fir_datapath(width=12)
+
+
+@pytest.fixture
+def alu():
+    return alu_control_dominated(width=16)
+
+
+@pytest.fixture
+def bus():
+    return shared_bus_datapath(width=16)
+
+
+@pytest.fixture
+def library():
+    return default_library()
+
+
+@pytest.fixture
+def tiny_design():
+    """A minimal adder-mux-register design used across unit tests."""
+    b = DesignBuilder("tiny")
+    a = b.input("A", 8)
+    c = b.input("C", 8)
+    s = b.input("S", 1)
+    g = b.input("G", 1)
+    total = b.add(a, c, name="a0")
+    picked = b.mux(s, total, c, name="m0")
+    q = b.register(picked, enable=g, name="r0")
+    b.output(q, "OUT")
+    return b.build()
+
+
+def make_stimulus(design, seed=0, p=0.5, rate=None, overrides=None):
+    """Shortcut used across test modules."""
+    return random_stimulus(
+        design,
+        seed=seed,
+        control_probability=p,
+        control_toggle_rate=rate,
+        overrides=overrides,
+    )

@@ -1,0 +1,192 @@
+"""Tests for activation-function derivation (paper Section 3).
+
+The key fixture is the paper's own Figure 1 circuit, for which Section 3
+states the expected results in closed form.
+"""
+
+import pytest
+
+from repro.boolean.bdd import BddManager
+from repro.boolean.expr import TRUE, and_, not_, or_, var
+from repro.core.activation import (
+    derive_activation_functions,
+    gate_side_condition,
+    net_activation_function,
+    select_condition,
+)
+from repro.errors import IsolationError
+from repro.netlist.builder import DesignBuilder
+
+
+class TestPaperExample:
+    def test_as_a0_equals_g0(self, fig1):
+        analysis = derive_activation_functions(fig1)
+        manager = BddManager()
+        assert manager.equivalent(analysis.of_module(fig1.cell("a0")), var("G0"))
+
+    def test_as_a1_matches_paper(self, fig1):
+        analysis = derive_activation_functions(fig1)
+        expected = or_(
+            and_(var("S2"), var("G1")),
+            and_(not_(var("S0")), var("S1"), var("G0")),
+        )
+        manager = BddManager()
+        assert manager.equivalent(analysis.of_module(fig1.cell("a1")), expected)
+
+    def test_non_module_query_rejected(self, fig1):
+        analysis = derive_activation_functions(fig1)
+        with pytest.raises(IsolationError):
+            analysis.of_module(fig1.cell("m0"))
+
+    def test_net_functions_populated(self, fig1):
+        analysis = derive_activation_functions(fig1)
+        assert analysis.of_net(fig1.cell("a0").net("Y")) is not None
+
+
+class TestTraversalRules:
+    def test_primary_output_always_observed(self):
+        b = DesignBuilder("po")
+        x = b.input("X", 8)
+        y = b.input("Y", 8)
+        out = b.add(x, y, name="a0")
+        b.output(out, "OUT")
+        d = b.build()
+        analysis = derive_activation_functions(d)
+        assert analysis.of_module(d.cell("a0")) == TRUE
+
+    def test_enabled_register_gives_enable_condition(self, tiny_design):
+        analysis = derive_activation_functions(tiny_design)
+        f = analysis.of_module(tiny_design.cell("a0"))
+        # a0 -> m0 (selected when S=0) -> r0 (enabled by G)
+        manager = BddManager()
+        assert manager.equivalent(f, and_(not_(var("S")), var("G")))
+
+    def test_register_without_enable_is_const_one(self):
+        b = DesignBuilder("t")
+        x = b.input("X", 8)
+        y = b.input("Y", 8)
+        s = b.add(x, y, name="a0")
+        b.output(b.register(s, name="r0"), "OUT")
+        d = b.build()
+        analysis = derive_activation_functions(d)
+        # f_r+ := 1, register loads every cycle -> always active.
+        assert analysis.of_module(d.cell("a0")) == TRUE
+
+    def test_control_use_is_unconditional(self):
+        """A module steering a select is always active."""
+        b = DesignBuilder("t")
+        x = b.input("X", 8)
+        y = b.input("Y", 8)
+        g = b.input("G", 1)
+        decision = b.compare(x, y, op="lt", name="c0")
+        routed = b.mux(decision, x, y, name="m0")
+        b.output(b.register(routed, enable=g, name="r0"), "OUT")
+        d = b.build()
+        analysis = derive_activation_functions(d)
+        assert analysis.of_module(d.cell("c0")) == TRUE
+
+    def test_chained_modules_compose(self, fig1):
+        """f_a1 references downstream candidate a0's activation (G0 term)."""
+        analysis = derive_activation_functions(fig1)
+        assert "G0" in analysis.of_module(fig1.cell("a1")).support()
+
+    def test_and_gate_side_condition(self):
+        b = DesignBuilder("t")
+        x = b.input("X", 8)
+        y = b.input("Y", 8)
+        mask = b.input("M", 1)
+        g = b.input("G", 1)
+        total = b.add(x, y, name="a0")
+        # One-bit mask gating a one-bit comparison of the sum.
+        flag = b.compare(total, x, op="eq", name="c0")
+        gated = b.and_(flag, mask, name="g0")
+        b.output(b.register(gated, enable=g, name="r0"), "OUT")
+        d = b.build()
+        analysis = derive_activation_functions(d)
+        f = analysis.of_module(d.cell("c0"))
+        # Observable through the AND gate only when M=1 (and G loads).
+        manager = BddManager()
+        assert manager.equivalent(f, and_(var("M"), var("G")))
+
+    def test_multibit_gate_side_is_conservative(self):
+        b = DesignBuilder("t")
+        x = b.input("X", 8)
+        y = b.input("Y", 8)
+        g = b.input("G", 1)
+        total = b.add(x, y, name="a0")
+        masked = b.and_(total, y, name="g0")  # 8-bit side input: not expressible
+        b.output(b.register(masked, enable=g, name="r0"), "OUT")
+        d = b.build()
+        analysis = derive_activation_functions(d)
+        manager = BddManager()
+        assert manager.equivalent(analysis.of_module(d.cell("a0")), var("G"))
+
+    def test_wide_select_uses_bitrefs(self):
+        b = DesignBuilder("t")
+        s = b.input("SEL", 2)
+        g = b.input("G", 1)
+        xs = [b.input(f"X{i}", 8) for i in range(3)]
+        total = b.add(xs[0], xs[1], name="a0")
+        routed = b.mux(s, total, xs[1], xs[2], xs[2], name="m0")
+        b.output(b.register(routed, enable=g, name="r0"), "OUT")
+        d = b.build()
+        analysis = derive_activation_functions(d)
+        f = analysis.of_module(d.cell("a0"))
+        # a0 observable when SEL == 0 and G: !SEL[0] * !SEL[1] * G
+        manager = BddManager()
+        expected = and_(not_(var("SEL[0]")), not_(var("SEL[1]")), var("G"))
+        assert manager.equivalent(f, expected)
+
+    def test_net_activation_function_single_query(self, fig1):
+        f = net_activation_function(fig1, fig1.cell("a0").net("Y"))
+        assert f == var("G0")
+
+
+class TestHelperConditions:
+    def test_select_condition_one_bit(self, tiny_design):
+        mux = tiny_design.cell("m0")
+        assert select_condition(mux, 0) == not_(var("S"))
+        assert select_condition(mux, 1) == var("S")
+
+    def test_select_condition_two_bits(self):
+        b = DesignBuilder("t")
+        s = b.input("SEL", 2)
+        xs = [b.input(f"X{i}", 4) for i in range(4)]
+        out = b.mux(s, *xs, name="m")
+        b.output(out, "O")
+        d = b.build(validate=False)
+        mux = d.cell("m")
+        cond = select_condition(mux, 2)  # binary 10
+        assert cond == and_(not_(var("SEL[0]")), var("SEL[1]"))
+
+    def test_gate_side_condition_polarity(self):
+        b = DesignBuilder("t")
+        x = b.input("X", 1)
+        y = b.input("Y", 1)
+        andy = b.and_(x, y, name="ag")
+        ory = b.or_(x, y, name="og")
+        xory = b.xor(x, y, name="xg")
+        for net, label in ((andy, "A"), (ory, "O"), (xory, "X2")):
+            b.output(net, label)
+        d = b.build()
+        assert gate_side_condition(d.cell("ag"), "A") == var("Y")
+        assert gate_side_condition(d.cell("og"), "A") == not_(var("Y"))
+        assert gate_side_condition(d.cell("xg"), "A") == TRUE
+
+
+class TestConservatism:
+    def test_isolated_netlist_rederivation_composes(self, fig1):
+        """Re-deriving on an isolated design never claims new activity."""
+        from repro.core.isolate import isolate_candidate
+        from repro.verify import activation_preserved_after_isolation
+
+        analysis = derive_activation_functions(fig1)
+        originals = {
+            m.name: analysis.of_module(m) for m in fig1.datapath_modules
+        }
+        working = fig1.copy()
+        wa = derive_activation_functions(working)
+        instance = isolate_candidate(
+            working, working.cell("a1"), wa.of_module(working.cell("a1")), "and"
+        )
+        assert activation_preserved_after_isolation(originals, working, [instance])

@@ -1,0 +1,128 @@
+"""Additional activation-derivation scenarios: latches, buffers, taps,
+deep mux trees, and post-isolation partitioning."""
+
+from repro.boolean.bdd import BddManager
+from repro.boolean.expr import TRUE, and_, not_, or_, var
+from repro.core import derive_activation_functions
+from repro.core.isolate import isolate_candidate
+from repro.netlist.builder import DesignBuilder
+from repro.netlist.partition import partition_blocks
+
+
+class TestLatchTraversal:
+    def test_latch_gates_observability(self):
+        """module -> latch(G) -> enabled register: f = G_latch * EN."""
+        b = DesignBuilder("lat")
+        x = b.input("X", 8)
+        y = b.input("Y", 8)
+        g_lat = b.input("GL", 1)
+        en = b.input("EN", 1)
+        total = b.add(x, y, name="a0")
+        held = b.latch(total, g_lat, name="hold")
+        b.output(b.register(held, enable=en, name="r0"), "OUT")
+        d = b.build()
+        analysis = derive_activation_functions(d)
+        manager = BddManager()
+        assert manager.equivalent(
+            analysis.of_module(d.cell("a0")), and_(var("GL"), var("EN"))
+        )
+
+    def test_buffer_chain_is_transparent(self):
+        b = DesignBuilder("bufs")
+        x = b.input("X", 8)
+        y = b.input("Y", 8)
+        g = b.input("G", 1)
+        total = b.add(x, y, name="a0")
+        buffered = b.buf(b.buf(total))
+        b.output(b.register(buffered, enable=g, name="r0"), "OUT")
+        d = b.build()
+        analysis = derive_activation_functions(d)
+        assert BddManager().equivalent(analysis.of_module(d.cell("a0")), var("G"))
+
+    def test_inverter_is_transparent(self):
+        b = DesignBuilder("inv")
+        x = b.input("X", 8)
+        y = b.input("Y", 8)
+        g = b.input("G", 1)
+        total = b.add(x, y, name="a0")
+        inverted = b.not_(total)
+        b.output(b.register(inverted, enable=g, name="r0"), "OUT")
+        d = b.build()
+        analysis = derive_activation_functions(d)
+        assert BddManager().equivalent(analysis.of_module(d.cell("a0")), var("G"))
+
+
+class TestDeepSteering:
+    def test_mux_tree_conditions_multiply(self):
+        """Two levels of 2-way muxes: conditions AND along the path."""
+        b = DesignBuilder("tree")
+        x = b.input("X", 8)
+        y = b.input("Y", 8)
+        s0 = b.input("S0", 1)
+        s1 = b.input("S1", 1)
+        g = b.input("G", 1)
+        total = b.add(x, y, name="a0")
+        level1 = b.mux(s0, total, x, name="m0")  # selected when S0 = 0
+        level2 = b.mux(s1, y, level1, name="m1")  # selected when S1 = 1
+        b.output(b.register(level2, enable=g, name="r0"), "OUT")
+        d = b.build()
+        analysis = derive_activation_functions(d)
+        expected = and_(not_(var("S0")), var("S1"), var("G"))
+        assert BddManager().equivalent(analysis.of_module(d.cell("a0")), expected)
+
+    def test_multiple_paths_or_together(self):
+        """Module observable through EITHER of two sinks."""
+        b = DesignBuilder("fan")
+        x = b.input("X", 8)
+        y = b.input("Y", 8)
+        g0 = b.input("G0", 1)
+        g1 = b.input("G1", 1)
+        total = b.add(x, y, name="a0")
+        b.output(b.register(total, enable=g0, name="r0"), "OUT0")
+        b.output(b.register(total, enable=g1, name="r1"), "OUT1")
+        d = b.build()
+        analysis = derive_activation_functions(d)
+        assert BddManager().equivalent(
+            analysis.of_module(d.cell("a0")), or_(var("G0"), var("G1"))
+        )
+
+    def test_eight_way_mux_bit_conditions(self):
+        b = DesignBuilder("m8")
+        sel = b.input("SEL", 3)
+        g = b.input("G", 1)
+        xs = [b.input(f"X{i}", 4) for i in range(7)]
+        total = b.add(xs[0], xs[1], name="a0")
+        routed = b.mux(sel, *( [total] + xs[:7] ), name="m0")
+        b.output(b.register(routed, enable=g, name="r0"), "OUT")
+        d = b.build()
+        analysis = derive_activation_functions(d)
+        expected = and_(
+            not_(var("SEL[0]")), not_(var("SEL[1]")), not_(var("SEL[2]")), var("G")
+        )
+        assert BddManager().equivalent(analysis.of_module(d.cell("a0")), expected)
+
+
+class TestPostIsolationStructure:
+    def test_isolation_does_not_split_blocks(self, fig1):
+        blocks_before = len(partition_blocks(fig1))
+        working = fig1.copy()
+        analysis = derive_activation_functions(working)
+        for name in ("a1", "a0"):
+            isolate_candidate(
+                working, working.cell(name),
+                analysis.of_module(working.cell(name)), "latch",
+            )
+            analysis = derive_activation_functions(working)
+        assert len(partition_blocks(working)) == blocks_before
+
+    def test_activation_logic_lands_in_same_block(self, fig1):
+        working = fig1.copy()
+        analysis = derive_activation_functions(working)
+        instance = isolate_candidate(
+            working, working.cell("a1"),
+            analysis.of_module(working.cell("a1")), "and",
+        )
+        blocks = partition_blocks(working)
+        module_block = next(b for b in blocks if working.cell("a1") in b)
+        for cell in instance.activation_cells + instance.banks:
+            assert cell in module_block

@@ -1,0 +1,119 @@
+"""Unit tests for arithmetic modules."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.arith import (
+    Adder,
+    Comparator,
+    MacUnit,
+    Multiplier,
+    Shifter,
+    Subtractor,
+    arith_kinds,
+)
+from repro.netlist.design import Design
+
+
+def wire(cell, widths):
+    d = Design("t")
+    d.add_cell(cell)
+    for port, width in widths.items():
+        d.connect(cell, port, d.add_net(f"n_{port}", width))
+    return cell
+
+
+class TestAdderSubtractor:
+    def test_addition(self):
+        a = wire(Adder("a"), {"A": 8, "B": 8, "Y": 8})
+        assert a.evaluate({"A": 100, "B": 55})["Y"] == 155
+
+    def test_addition_wraps_to_output_width(self):
+        a = wire(Adder("a"), {"A": 8, "B": 8, "Y": 8})
+        assert a.evaluate({"A": 200, "B": 100})["Y"] == (300 & 0xFF)
+
+    def test_subtraction(self):
+        s = wire(Subtractor("s"), {"A": 8, "B": 8, "Y": 8})
+        assert s.evaluate({"A": 9, "B": 4})["Y"] == 5
+
+    def test_subtraction_wraps_on_underflow(self):
+        s = wire(Subtractor("s"), {"A": 8, "B": 8, "Y": 8})
+        assert s.evaluate({"A": 0, "B": 1})["Y"] == 0xFF
+
+    def test_operand_width_inference(self):
+        d = Design("t")
+        a = d.add_cell(Adder("a"))
+        d.connect(a, "A", d.add_net("na", 12))
+        assert a.port_width("B") == 12
+
+
+class TestMultiplier:
+    def test_product(self):
+        m = wire(Multiplier("m"), {"A": 8, "B": 8, "Y": 16})
+        assert m.evaluate({"A": 12, "B": 11})["Y"] == 132
+
+    def test_product_truncated(self):
+        m = wire(Multiplier("m"), {"A": 8, "B": 8, "Y": 8})
+        assert m.evaluate({"A": 200, "B": 200})["Y"] == (200 * 200) & 0xFF
+
+    def test_complexity_exceeds_adder(self):
+        assert Multiplier("m").complexity > Adder("a").complexity
+
+
+class TestComparator:
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            ("eq", 5, 5, 1),
+            ("eq", 5, 6, 0),
+            ("ne", 5, 6, 1),
+            ("lt", 3, 7, 1),
+            ("lt", 7, 3, 0),
+            ("le", 7, 7, 1),
+            ("gt", 9, 2, 1),
+            ("ge", 2, 2, 1),
+        ],
+    )
+    def test_relations(self, op, a, b, expected):
+        c = wire(Comparator("c", op=op), {"A": 8, "B": 8, "Y": 1})
+        assert c.evaluate({"A": a, "B": b})["Y"] == expected
+
+    def test_output_must_be_one_bit(self):
+        c = Comparator("c", op="lt")
+        assert c.port_width("Y") == 1
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(NetlistError):
+            Comparator("c", op="spaceship")
+
+
+class TestShifter:
+    def test_left_shift(self):
+        s = wire(Shifter("s", direction="left"), {"A": 8, "B": 3, "Y": 8})
+        assert s.evaluate({"A": 0b0011, "B": 2})["Y"] == 0b1100
+
+    def test_right_shift(self):
+        s = wire(Shifter("s", direction="right"), {"A": 8, "B": 3, "Y": 8})
+        assert s.evaluate({"A": 0b1100, "B": 2})["Y"] == 0b0011
+
+    def test_left_shift_drops_high_bits(self):
+        s = wire(Shifter("s", direction="left"), {"A": 8, "B": 3, "Y": 8})
+        assert s.evaluate({"A": 0xFF, "B": 4})["Y"] == 0xF0
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(NetlistError):
+            Shifter("s", direction="sideways")
+
+
+class TestMac:
+    def test_multiply_accumulate(self):
+        m = wire(MacUnit("m"), {"A": 8, "B": 8, "C": 16, "Y": 16})
+        assert m.evaluate({"A": 10, "B": 20, "C": 5})["Y"] == 205
+
+    def test_three_operands(self):
+        assert MacUnit("m").data_input_ports == ["A", "B", "C"]
+
+
+def test_arith_kinds_enumerates_all():
+    kinds = arith_kinds()
+    assert set(kinds) == {"add", "sub", "mul", "cmp", "shift", "mac", "divmod"}

@@ -1,0 +1,63 @@
+"""Unit tests for isolation banks (AND / OR / LAT styles)."""
+
+from repro.netlist.banks import AndBank, LatchBank, OrBank
+from repro.netlist.design import Design
+
+
+def wired(cls, width=8):
+    d = Design("t")
+    bank = d.add_cell(cls("b"))
+    d.connect(bank, "D", d.add_net("d", width))
+    d.connect(bank, "EN", d.add_net("en", 1))
+    d.connect(bank, "Y", d.add_net("y", width))
+    return bank
+
+
+class TestAndBank:
+    def test_passes_when_enabled(self):
+        bank = wired(AndBank)
+        assert bank.evaluate({"D": 0xAB, "EN": 1})["Y"] == 0xAB
+
+    def test_forces_zero_when_idle(self):
+        bank = wired(AndBank)
+        assert bank.evaluate({"D": 0xAB, "EN": 0})["Y"] == 0
+
+
+class TestOrBank:
+    def test_passes_when_enabled(self):
+        bank = wired(OrBank)
+        assert bank.evaluate({"D": 0xAB, "EN": 1})["Y"] == 0xAB
+
+    def test_forces_ones_when_idle(self):
+        bank = wired(OrBank, width=8)
+        assert bank.evaluate({"D": 0xAB, "EN": 0})["Y"] == 0xFF
+
+
+class TestLatchBank:
+    def test_transparent_when_enabled(self):
+        bank = wired(LatchBank)
+        assert bank.output_value(0x11, {"D": 0xAB, "EN": 1}) == 0xAB
+
+    def test_freezes_when_idle(self):
+        bank = wired(LatchBank)
+        assert bank.output_value(0x11, {"D": 0xAB, "EN": 0}) == 0x11
+
+    def test_state_update(self):
+        bank = wired(LatchBank)
+        assert bank.next_state(0x11, {"D": 0xAB, "EN": 1}) == 0xAB
+        assert bank.next_state(0x11, {"D": 0xAB, "EN": 0}) == 0x11
+
+    def test_latch_bank_holds_state_but_not_sequential(self):
+        bank = LatchBank("b")
+        assert bank.has_state
+        assert not bank.is_sequential
+
+
+def test_all_banks_marked_isolation_banks():
+    for cls in (AndBank, OrBank, LatchBank):
+        assert cls("b").is_isolation_bank
+
+
+def test_enable_is_control_port():
+    for cls in (AndBank, OrBank, LatchBank):
+        assert cls("b").port_spec("EN").is_control

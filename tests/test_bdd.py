@@ -1,0 +1,116 @@
+"""Unit and property tests for the ROBDD package."""
+
+import itertools
+
+from hypothesis import given, settings
+
+from repro.boolean.bdd import BddManager
+from repro.boolean.expr import FALSE, TRUE, and_, not_, or_, var
+from tests.test_expr import VARS, envs, exprs
+
+
+class TestBasics:
+    def test_terminals(self):
+        m = BddManager()
+        assert m.from_expr(TRUE) == m.TRUE
+        assert m.from_expr(FALSE) == m.FALSE
+
+    def test_variable_node(self):
+        m = BddManager()
+        node = m.declare("x")
+        assert node not in (m.TRUE, m.FALSE)
+        assert m.declare("x") == node  # same var, same node
+
+    def test_canonicity(self):
+        m = BddManager()
+        a, b = var("a"), var("b")
+        left = m.from_expr(or_(and_(a, b), and_(a, not_(b))))
+        right = m.from_expr(a)
+        assert left == right
+
+    def test_demorgan(self):
+        m = BddManager()
+        a, b = var("a"), var("b")
+        assert m.equivalent(not_(and_(a, b)), or_(not_(a), not_(b)))
+
+    def test_tautology_contradiction(self):
+        m = BddManager()
+        a = var("a")
+        assert m.is_tautology(or_(a, not_(a)))
+        assert m.is_contradiction(and_(a, not_(a)))
+        assert not m.is_tautology(a)
+
+    def test_implication(self):
+        m = BddManager()
+        a, b = var("a"), var("b")
+        assert m.implies(and_(a, b), a)
+        assert not m.implies(a, and_(a, b))
+
+    def test_xor_apply(self):
+        m = BddManager()
+        na, nb = m.declare("a"), m.declare("b")
+        x = m.apply_xor(na, nb)
+        # a xor a == 0
+        assert m.apply_xor(na, na) == m.FALSE
+        assert x != m.FALSE
+
+    def test_node_count(self):
+        m = BddManager()
+        e = and_(var("a"), var("b"), var("c"))
+        node = m.from_expr(e)
+        assert m.count_nodes(node) == 3
+
+
+class TestProbability:
+    def test_single_variable(self):
+        m = BddManager()
+        assert m.expr_probability(var("a"), {"a": 0.3}) == 0.3
+
+    def test_independent_product(self):
+        m = BddManager()
+        e = and_(var("a"), var("b"))
+        assert abs(m.expr_probability(e, {"a": 0.5, "b": 0.4}) - 0.2) < 1e-12
+
+    def test_reconvergence_handled_exactly(self):
+        # a * a has probability p, not p^2.
+        m = BddManager()
+        e = and_(var("a"), or_(var("a"), var("b")))
+        assert abs(m.expr_probability(e, {"a": 0.3, "b": 0.9}) - 0.3) < 1e-12
+
+    def test_default_half(self):
+        m = BddManager()
+        assert m.expr_probability(var("a"), {}) == 0.5
+
+    def test_paper_example_probability(self):
+        m = BddManager()
+        e = or_(
+            and_(var("S2"), var("G1")),
+            and_(not_(var("S0")), var("S1"), var("G0")),
+        )
+        probs = {"S2": 0.5, "G1": 0.1, "S0": 0.5, "S1": 0.5, "G0": 0.1}
+        # 0.05 + 0.025 - 0.05*0.025 (inclusion-exclusion; independent terms)
+        assert abs(m.expr_probability(e, probs) - 0.07375) < 1e-9
+
+
+class TestAgainstTruthTables:
+    @settings(max_examples=150, deadline=None)
+    @given(e=exprs())
+    def test_bdd_matches_evaluation(self, e):
+        m = BddManager()
+        node = m.from_expr(e)
+        for bits in itertools.product([False, True], repeat=len(VARS)):
+            env = dict(zip(VARS, bits))
+            expected = e.evaluate(env)
+            # Evaluate the BDD by probability with 0/1 inputs.
+            probs = {k: 1.0 if v else 0.0 for k, v in env.items()}
+            assert m.probability(node, probs) == (1.0 if expected else 0.0)
+
+    @settings(max_examples=150, deadline=None)
+    @given(e1=exprs(), e2=exprs())
+    def test_equivalence_matches_truth_tables(self, e1, e2):
+        m = BddManager()
+        tables_equal = all(
+            e1.evaluate(dict(zip(VARS, bits))) == e2.evaluate(dict(zip(VARS, bits)))
+            for bits in itertools.product([False, True], repeat=len(VARS))
+        )
+        assert m.equivalent(e1, e2) == tables_equal

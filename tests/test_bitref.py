@@ -1,0 +1,93 @@
+"""Unit tests for net bit references."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.bitref import (
+    format_bitref,
+    materialize_variable_nets,
+    parse_bitref,
+    resolve_variables,
+    sample_env,
+)
+from repro.netlist.builder import DesignBuilder
+from repro.netlist.logic import BitSelect
+
+
+@pytest.fixture
+def design_with_bus():
+    b = DesignBuilder("bus")
+    s = b.input("SEL", 2)
+    x = b.input("X", 8)
+    y = b.input("Y", 8)
+    out = b.mux(s, x, y, x, y, name="m")
+    b.output(b.register(out, name="r"), "OUT")
+    return b.build()
+
+
+class TestFormatParse:
+    def test_plain_name_for_one_bit(self, design_with_bus):
+        net = design_with_bus.net("X")
+        with pytest.raises(NetlistError):
+            format_bitref(net)  # 8-bit net needs an index
+        sel = design_with_bus.net("SEL")
+        assert format_bitref(sel, 1) == "SEL[1]"
+
+    def test_parse_plain(self, design_with_bus):
+        b = DesignBuilder("t")
+        g = b.input("G", 1)
+        b.output(g, "O")
+        d = b.build()
+        net, bit = parse_bitref(d, "G")
+        assert net.name == "G" and bit == 0
+
+    def test_parse_bitref(self, design_with_bus):
+        net, bit = parse_bitref(design_with_bus, "SEL[1]")
+        assert net.name == "SEL" and bit == 1
+
+    def test_parse_rejects_wide_plain(self, design_with_bus):
+        with pytest.raises(NetlistError):
+            parse_bitref(design_with_bus, "SEL")
+
+    def test_parse_rejects_out_of_range(self, design_with_bus):
+        with pytest.raises(NetlistError):
+            parse_bitref(design_with_bus, "SEL[5]")
+
+    def test_parse_rejects_unknown(self, design_with_bus):
+        with pytest.raises(NetlistError):
+            parse_bitref(design_with_bus, "GHOST")
+
+    def test_format_rejects_out_of_range(self, design_with_bus):
+        with pytest.raises(NetlistError):
+            format_bitref(design_with_bus.net("SEL"), 7)
+
+
+class TestEnvSampling:
+    def test_sample_env_extracts_bits(self, design_with_bus):
+        resolved = resolve_variables(design_with_bus, ["SEL[0]", "SEL[1]"])
+        values = {design_with_bus.net("SEL"): 0b10}
+        env = sample_env(resolved, values)
+        assert env == {"SEL[0]": 0, "SEL[1]": 1}
+
+
+class TestMaterialize:
+    def test_creates_bitselect(self, design_with_bus):
+        nets = materialize_variable_nets(design_with_bus, ["SEL[1]"])
+        out = nets["SEL[1]"]
+        assert out.width == 1
+        assert isinstance(out.driver.cell, BitSelect)
+
+    def test_reuses_existing_tap(self, design_with_bus):
+        first = materialize_variable_nets(design_with_bus, ["SEL[1]"])
+        count = len(design_with_bus.cells)
+        second = materialize_variable_nets(design_with_bus, ["SEL[1]"])
+        assert first["SEL[1]"] is second["SEL[1]"]
+        assert len(design_with_bus.cells) == count
+
+    def test_one_bit_net_passthrough(self):
+        b = DesignBuilder("t")
+        g = b.input("G", 1)
+        b.output(g, "O")
+        d = b.build()
+        nets = materialize_variable_nets(d, ["G"])
+        assert nets["G"] is d.net("G")

@@ -1,0 +1,100 @@
+"""Unit tests for the fluent DesignBuilder."""
+
+import pytest
+
+from repro.errors import NetlistError, ValidationError
+from repro.netlist.builder import DesignBuilder
+
+
+class TestBuilder:
+    def test_quickstart_shape(self, tiny_design):
+        assert tiny_design.stats()["cells"] == 8
+
+    def test_all_arith_helpers(self):
+        b = DesignBuilder("ops")
+        x = b.input("X", 8)
+        y = b.input("Y", 8)
+        outs = [
+            b.add(x, y),
+            b.sub(x, y),
+            b.mul(x, y, width=8),
+            b.compare(x, y, op="lt"),
+            b.shift(x, y, direction="right"),
+            b.mac(x, y, b.input("ACC", 16)),
+        ]
+        for i, net in enumerate(outs):
+            b.output(b.register(net), f"O{i}")
+        d = b.build()
+        kinds = sorted(c.kind for c in d.datapath_modules)
+        assert kinds == ["add", "cmp", "mac", "mul", "shift", "sub"]
+
+    def test_all_gate_helpers(self):
+        b = DesignBuilder("gates")
+        x = b.input("X", 4)
+        y = b.input("Y", 4)
+        nets = [
+            b.and_(x, y),
+            b.or_(x, y),
+            b.nand(x, y),
+            b.nor(x, y),
+            b.xor(x, y),
+            b.xnor(x, y),
+            b.not_(x),
+            b.buf(y),
+        ]
+        for i, net in enumerate(nets):
+            b.output(net, f"O{i}")
+        d = b.build()
+        assert len(d.combinational_cells) == 8
+
+    def test_mux_with_many_inputs(self):
+        b = DesignBuilder("m")
+        s = b.input("S", 2)
+        ins = [b.input(f"X{i}", 8) for i in range(4)]
+        out = b.mux(s, *ins)
+        b.output(out, "Y")
+        d = b.build()
+        assert d.cell(out.driver.cell.name).n_inputs == 4
+
+    def test_mux_needs_two_inputs(self):
+        b = DesignBuilder("m")
+        s = b.input("S", 1)
+        x = b.input("X", 8)
+        with pytest.raises(NetlistError):
+            b.mux(s, x)
+
+    def test_const_and_latch(self):
+        b = DesignBuilder("cl")
+        g = b.input("G", 1)
+        k = b.const(42, 8)
+        out = b.latch(k, g)
+        b.output(out, "Y")
+        d = b.build()
+        assert d.constants[0].value == 42
+
+    def test_mul_default_output_width_is_sum(self):
+        b = DesignBuilder("m")
+        x = b.input("X", 8)
+        y = b.input("Y", 8)
+        p = b.mul(x, y)
+        assert p.width == 16
+
+    def test_build_validates(self):
+        b = DesignBuilder("bad")
+        b.input("X", 8)  # dangling net: no readers
+        with pytest.raises(ValidationError):
+            b.build()
+
+    def test_build_can_skip_validation(self):
+        b = DesignBuilder("bad")
+        b.input("X", 8)
+        d = b.build(validate=False)
+        assert d.has_net("X")
+
+    def test_register_reset_value(self):
+        b = DesignBuilder("r")
+        x = b.input("X", 8)
+        q = b.register(x, reset_value=7, name="r0")
+        b.output(q, "Y")
+        d = b.build()
+        assert d.cell("r0").reset_value == 7

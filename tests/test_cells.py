@@ -1,0 +1,95 @@
+"""Unit tests for the Cell base machinery (binding, specs, pins)."""
+
+import pytest
+
+from repro.errors import NetlistError, WidthMismatchError
+from repro.netlist.arith import Adder
+from repro.netlist.cells import PortDir
+from repro.netlist.design import Design
+from repro.netlist.logic import AndGate, Mux
+from repro.netlist.ports import PrimaryInput
+from repro.netlist.seq import Register
+
+
+def wired_adder(width=8):
+    d = Design("t")
+    a = d.add_cell(Adder("a0"))
+    na, nb, ny = d.add_net("na", width), d.add_net("nb", width), d.add_net("ny", width)
+    d.connect(a, "A", na)
+    d.connect(a, "B", nb)
+    d.connect(a, "Y", ny)
+    return d, a
+
+
+class TestBinding:
+    def test_connect_records_driver_and_readers(self):
+        d, a = wired_adder()
+        assert d.net("ny").driver.cell is a
+        assert any(p.cell is a for p in d.net("na").readers)
+
+    def test_double_connect_same_port_rejected(self):
+        d, a = wired_adder()
+        with pytest.raises(NetlistError):
+            d.connect(a, "A", d.net("nb"))
+
+    def test_two_drivers_on_one_net_rejected(self):
+        d, _a = wired_adder()
+        other = d.add_cell(Adder("a1"))
+        d.connect(other, "A", d.net("na"))
+        d.connect(other, "B", d.net("nb"))
+        with pytest.raises(NetlistError):
+            d.connect(other, "Y", d.net("ny"))
+
+    def test_width_mismatch_rejected(self):
+        d, a = wired_adder()
+        d2 = Design("t2")
+        a2 = d2.add_cell(Adder("a0"))
+        d2.connect(a2, "A", d2.add_net("na", 8))
+        with pytest.raises(WidthMismatchError):
+            d2.connect(a2, "B", d2.add_net("nb", 4))
+
+    def test_unknown_port_rejected(self):
+        d, a = wired_adder()
+        with pytest.raises(NetlistError):
+            a.port_spec("Z")
+
+    def test_unconnected_port_query_raises(self):
+        a = Adder("a0")
+        with pytest.raises(NetlistError):
+            a.net("A")
+
+
+class TestPinQueries:
+    def test_input_and_output_pins(self):
+        _d, a = wired_adder()
+        assert {p.port for p in a.input_pins} == {"A", "B"}
+        assert {p.port for p in a.output_pins} == {"Y"}
+
+    def test_pin_direction(self):
+        _d, a = wired_adder()
+        pin = a.input_pins[0]
+        assert pin.direction is PortDir.IN
+
+    def test_data_input_ports_exclude_control(self):
+        mux = Mux("m", n_inputs=2)
+        assert mux.data_input_ports == ["D0", "D1"]
+
+    def test_register_enable_is_control(self):
+        reg = Register("r", has_enable=True)
+        spec = reg.port_spec("EN")
+        assert spec.is_control
+
+    def test_mux_select_is_control(self):
+        mux = Mux("m", n_inputs=4)
+        assert mux.port_spec("S").is_control
+
+    def test_classification_flags(self):
+        assert Adder("a").is_datapath_module
+        assert not AndGate("g").is_datapath_module
+        assert Register("r").is_sequential
+        assert not Adder("a").is_sequential
+
+    def test_pi_has_no_evaluate(self):
+        pi = PrimaryInput("X")
+        with pytest.raises(NotImplementedError):
+            pi.evaluate({})

@@ -1,0 +1,127 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.netlist import textio
+
+
+@pytest.fixture
+def rtl_file(tmp_path, tiny_design):
+    path = tmp_path / "tiny.rtl"
+    textio.save(tiny_design, str(path))
+    return str(path)
+
+
+class TestIsolateCommand:
+    def test_builtin_design1(self, capsys):
+        code = main(
+            [
+                "isolate",
+                "--builtin", "design1",
+                "--cycles", "300",
+                "--override", "EN=0.2:0.05",
+                "--verify-cycles", "500",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Operand isolation of 'design1'" in out
+        assert "PASSED" in out
+
+    def test_netlist_file_with_outputs(self, rtl_file, tmp_path, capsys):
+        out_rtl = tmp_path / "iso.rtl"
+        out_v = tmp_path / "iso.v"
+        code = main(
+            [
+                "isolate", rtl_file,
+                "--cycles", "200",
+                "--override", "G=0.2:0.1",
+                "--out", str(out_rtl),
+                "--verilog", str(out_v),
+                "--verify-cycles", "300",
+            ]
+        )
+        assert code == 0
+        reloaded = textio.load(str(out_rtl))
+        assert reloaded.name.startswith("tiny_iso")
+        assert "endmodule" in out_v.read_text()
+
+    def test_latch_style_and_weights(self, capsys):
+        code = main(
+            [
+                "isolate", "--builtin", "design2", "--style", "latch",
+                "--cycles", "300", "--omega-a", "0.1", "--verify-cycles", "0",
+            ]
+        )
+        assert code == 0
+
+    def test_lookahead_flag(self, capsys):
+        code = main(
+            [
+                "isolate", "--builtin", "pipeline", "--lookahead", "1",
+                "--cycles", "300",
+                "--override", "SEL_IN=0.3:0.2", "--override", "G_IN=0.3:0.2",
+                "--verify-cycles", "500",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "pmul" in out
+
+
+class TestOtherCommands:
+    def test_report(self, capsys):
+        assert main(["report", "--builtin", "fig1", "--cycles", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "total power" in out
+        assert "critical path" in out
+        assert "Area report" in out
+
+    def test_compare_json(self, capsys):
+        import json
+
+        assert main(
+            ["compare", "--builtin", "fig1", "--cycles", "200", "--json"]
+        ) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows[0]["label"] == "non-isolated"
+        assert len(rows) == 4
+
+    def test_compare(self, capsys):
+        assert main(["compare", "--builtin", "fig1", "--cycles", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "non-isolated" in out
+        assert "LAT-isolated" in out
+
+    def test_activation(self, capsys):
+        assert main(["activation", "--builtin", "fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "AS_a0 = G0" in out
+        assert "AS_a1" in out
+
+    def test_activation_lookahead(self, capsys):
+        assert main(["activation", "--builtin", "pipeline", "--lookahead", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "AS_pmul = SEL_IN*G_IN" in out
+
+
+class TestErrors:
+    def test_unknown_builtin(self, capsys):
+        assert main(["report", "--builtin", "warpcore"]) == 2
+        assert "unknown builtin" in capsys.readouterr().err
+
+    def test_no_design_given(self, capsys):
+        assert main(["report"]) == 2
+        assert "provide a netlist" in capsys.readouterr().err
+
+    def test_bad_override(self, capsys):
+        assert (
+            main(["report", "--builtin", "fig1", "--override", "G0=banana"]) == 2
+        )
+        assert "bad --override" in capsys.readouterr().err
+
+    def test_infeasible_override_statistics(self, capsys):
+        assert (
+            main(["report", "--builtin", "fig1", "--override", "G0=0.1:0.9"]) == 2
+        )

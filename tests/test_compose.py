@@ -1,0 +1,143 @@
+"""Tests for netlist composition (merge_designs)."""
+
+import pytest
+
+from repro.designs import design1, fir_datapath, paper_example
+from repro.errors import NetlistError
+from repro.netlist.compose import merge_designs
+from repro.netlist.validate import validate_design
+from repro.sim.engine import Simulator
+from repro.sim.stimulus import random_stimulus
+
+
+class TestMergeDesigns:
+    def test_two_instances_flatten(self):
+        merged = merge_designs(
+            "dual", {"u0": paper_example(), "u1": paper_example()}
+        )
+        validate_design(merged)
+        assert merged.has_cell("u0_a0") and merged.has_cell("u1_a0")
+        assert merged.has_net("u0_A") and merged.has_net("u1_A")
+        single = paper_example().stats()
+        assert merged.stats()["cells"] == 2 * single["cells"]
+
+    def test_behaviour_matches_original(self):
+        original = paper_example()
+        merged = merge_designs("wrap", {"u0": original})
+        sim_orig = Simulator(original)
+        sim_merged = Simulator(merged)
+        stim = random_stimulus(original, seed=8)
+        for cycle in range(100):
+            values = stim.values(cycle)
+            settled_orig = sim_orig.step(values)
+            settled_merged = sim_merged.step(
+                {f"u0_{k}": v for k, v in values.items()}
+            )
+            out_orig = settled_orig[original.output_net("OUT0")]
+            out_merged = settled_merged[merged.output_net("u0_OUT0")]
+            assert out_orig == out_merged
+            sim_orig.commit()
+            sim_merged.commit()
+
+    def test_shared_inputs_collapse(self):
+        merged = merge_designs(
+            "shared",
+            {"a": design1(), "b": design1()},
+            shared_inputs={"EN_ALL": [("a", "EN"), ("b", "EN")]},
+        )
+        validate_design(merged)
+        assert merged.has_net("EN_ALL")
+        assert not merged.has_cell("a_EN")
+        assert not merged.has_cell("b_EN")
+        # Both subsystems read the shared net.
+        assert len(merged.net("EN_ALL").readers) >= 2
+
+    def test_shared_input_width_mismatch_rejected(self):
+        with pytest.raises(NetlistError):
+            merge_designs(
+                "bad",
+                {"a": design1(), "b": fir_datapath()},
+                shared_inputs={"MIX": [("a", "X0"), ("b", "BYP")]},
+            )
+
+    def test_unknown_instance_rejected(self):
+        with pytest.raises(NetlistError):
+            merge_designs(
+                "bad",
+                {"a": design1()},
+                shared_inputs={"E": [("ghost", "EN")]},
+            )
+
+
+class TestSocDesign:
+    def test_structure(self):
+        from repro.designs import soc_datapath
+
+        soc = soc_datapath()
+        validate_design(soc)
+        assert len(soc.datapath_modules) >= 40
+        from repro.netlist.partition import partition_blocks
+
+        assert len(partition_blocks(soc)) >= 10
+
+    def test_shared_strobe(self):
+        from repro.designs import soc_datapath
+
+        soc = soc_datapath()
+        readers = soc.net("SYS_EN").readers
+        assert len(readers) >= 2
+
+
+class TestCordic:
+    def test_structure(self):
+        from repro.designs import cordic_pipeline
+
+        cordic = cordic_pipeline(stages=4)
+        validate_design(cordic)
+        assert len(cordic.datapath_modules) == 4 * 9  # per-stage operator count
+
+    def test_stage_bound(self):
+        from repro.designs import cordic_pipeline
+
+        with pytest.raises(ValueError):
+            cordic_pipeline(stages=99)
+
+    def test_valid_gates_everything(self):
+        from repro.core import derive_activation_functions
+        from repro.boolean.bdd import BddManager
+        from repro.boolean.expr import var
+        from repro.designs import cordic_pipeline
+
+        from repro.boolean.expr import and_, not_
+
+        cordic = cordic_pipeline(stages=2)
+        analysis = derive_activation_functions(cordic)
+        manager = BddManager()
+        # Shifters feed both the add and the sub path: active iff VALID.
+        for name in ("shx0", "shy1"):
+            f = analysis.of_module(cordic.cell(name))
+            assert manager.equivalent(f, var("VALID"))
+        # Conditional adders additionally need their steering decision.
+        assert manager.equivalent(
+            analysis.of_module(cordic.cell("xadd0")),
+            and_(var("sgn0"), var("VALID")),
+        )
+        assert manager.equivalent(
+            analysis.of_module(cordic.cell("xsub0")),
+            and_(not_(var("sgn0")), var("VALID")),
+        )
+
+    def test_pipeline_advances_only_on_valid(self):
+        from repro.designs import cordic_pipeline
+
+        cordic = cordic_pipeline(stages=2)
+        sim = Simulator(cordic)
+        vec = {"X0": 1000, "Y0": 0, "Z0": 1234, "VALID": 0}
+        for _ in range(5):
+            sim.step(vec)
+            sim.commit()
+        assert sim.state[cordic.cell("rx0")] == 0  # nothing moved
+        vec["VALID"] = 1
+        sim.step(vec)
+        sim.commit()
+        assert sim.state[cordic.cell("rx0")] != 0

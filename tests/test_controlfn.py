@@ -1,0 +1,94 @@
+"""Tests for structural control-logic expansion (control_function)."""
+
+import itertools
+
+import pytest
+
+from repro.boolean.bdd import BddManager
+from repro.boolean.expr import FALSE, TRUE, and_, not_, or_, var
+from repro.core.controlfn import control_function
+from repro.netlist.builder import DesignBuilder
+from repro.sim.engine import Simulator
+
+
+def control_design():
+    """One of everything the expansion sees through."""
+    b = DesignBuilder("ctl")
+    a = b.input("a", 1)
+    c = b.input("c", 1)
+    sel = b.input("sel", 1)
+    outs = {
+        "and": b.and_(a, c),
+        "or": b.or_(a, c),
+        "nand": b.nand(a, c),
+        "nor": b.nor(a, c),
+        "xor": b.xor(a, c),
+        "xnor": b.xnor(a, c),
+        "not": b.not_(a),
+        "buf": b.buf(c),
+        "mux": b.mux(sel, a, c),
+        "const": b.const(1, 1),
+    }
+    for name, net in outs.items():
+        b.output(net, f"O_{name}")
+    return b.build(), outs
+
+
+class TestExpansion:
+    def test_gate_expansions_match_semantics(self):
+        design, outs = control_design()
+        manager = BddManager()
+        expected = {
+            "and": and_(var("a"), var("c")),
+            "or": or_(var("a"), var("c")),
+            "nand": not_(and_(var("a"), var("c"))),
+            "nor": not_(or_(var("a"), var("c"))),
+            "xor": or_(and_(var("a"), not_(var("c"))), and_(not_(var("a")), var("c"))),
+            "xnor": not_(
+                or_(and_(var("a"), not_(var("c"))), and_(not_(var("a")), var("c")))
+            ),
+            "not": not_(var("a")),
+            "buf": var("c"),
+            "mux": or_(and_(not_(var("sel")), var("a")), and_(var("sel"), var("c"))),
+        }
+        for name, expr in expected.items():
+            assert manager.equivalent(control_function(outs[name]), expr), name
+
+    def test_constant_folds(self):
+        design, outs = control_design()
+        assert control_function(outs["const"]) == TRUE
+
+    def test_expansion_matches_simulation(self):
+        """The expanded function agrees with the simulator on every input."""
+        design, outs = control_design()
+        sim = Simulator(design)
+        for bits in itertools.product((0, 1), repeat=3):
+            env = dict(zip(("a", "c", "sel"), bits))
+            settled = sim.step(env)
+            for name, net in outs.items():
+                if name == "const":
+                    continue
+                expr = control_function(net)
+                assert expr.evaluate(env) == bool(settled[net]), (name, env)
+
+    def test_register_output_is_atomic(self, d2):
+        # ph0 comparator output: a module output -> atomic variable.
+        f = control_function(d2.net("ph0"))
+        assert f == var("ph0")
+
+    def test_wide_net_rejected(self, d1):
+        with pytest.raises(ValueError):
+            control_function(d1.net("X0"))
+
+    def test_bitselect_names_bitref(self):
+        b = DesignBuilder("bs")
+        bus = b.input("BUS", 4)
+        from repro.netlist.logic import BitSelect
+
+        cell = b.design.add_cell(BitSelect("tap", 3))
+        b.design.connect(cell, "A", bus)
+        out = b.design.add_net("tapped", 1)
+        b.design.connect(cell, "Y", out)
+        b.output(out, "O")
+        d = b.build()
+        assert control_function(d.net("tapped")) == var("BUS[3]")

@@ -1,0 +1,93 @@
+"""Tests for the cost model h(c) = ω_p·rP − ω_a·rA (Section 5.1)."""
+
+import pytest
+
+from repro.core.candidates import find_candidates
+from repro.core.cost import CostModel, CostWeights
+from repro.core.savings import SavingsModel
+from repro.power.estimator import PowerEstimator
+from repro.power.library import default_library
+from repro.sim.engine import Simulator
+from repro.sim.monitor import ToggleMonitor
+from repro.sim.stimulus import ControlStream, random_stimulus
+
+
+@pytest.fixture
+def scored(d1):
+    library = default_library()
+    candidates = find_candidates(d1)
+    savings = SavingsModel(d1, candidates, library)
+    monitor = ToggleMonitor()
+    stim = random_stimulus(
+        d1, seed=1, control_probability=0.3, overrides={"EN": ControlStream(0.2, 0.1)}
+    )
+    Simulator(d1).run(stim, 1500, monitors=[monitor, savings.probes], warmup=16)
+    savings.calibrate(monitor)
+    total_power = PowerEstimator(library).breakdown(d1, monitor).total_power_mw
+    cost = CostModel(
+        savings, library, total_power_mw=total_power, total_area=library.total_area(d1)
+    )
+    return cost, candidates
+
+
+def by_name(candidates, name):
+    return next(c for c in candidates if c.name == name)
+
+
+class TestCostFunction:
+    def test_h_combines_power_and_area(self, scored):
+        cost, candidates = scored
+        result = cost.evaluate(by_name(candidates, "mul0"), "and")
+        expected = (
+            cost.weights.omega_p * result.relative_power
+            - cost.weights.omega_a * result.relative_area
+        )
+        assert result.h == pytest.approx(expected)
+
+    def test_big_idle_module_scores_best(self, scored):
+        cost, candidates = scored
+        scores = {
+            c.name: cost.evaluate(c, "and").h
+            for c in candidates
+            if not c.always_active
+        }
+        assert max(scores, key=scores.get) in ("mul0", "mul1")
+
+    def test_acceptance_threshold(self, scored):
+        cost, candidates = scored
+        result = cost.evaluate(by_name(candidates, "mul0"), "and")
+        assert result.accepted == (result.h >= cost.weights.h_min)
+        assert result.accepted  # big multiplier at 80% idle must pass
+
+    def test_area_weight_can_veto(self, d1, scored):
+        _cost, candidates = scored
+        base_cost, _ = scored
+        greedy = CostModel(
+            base_cost.savings_model,
+            base_cost.library,
+            base_cost.total_power_mw,
+            base_cost.total_area,
+            weights=CostWeights(omega_p=0.0, omega_a=1.0),
+        )
+        result = greedy.evaluate(by_name(candidates, "mul0"), "and")
+        assert result.h < 0  # pure area cost: never worth it
+        assert not result.accepted
+
+    def test_isolation_area_by_style(self, scored):
+        cost, candidates = scored
+        mul0 = by_name(candidates, "mul0")
+        assert cost.isolation_area(mul0, "latch") > cost.isolation_area(mul0, "and")
+
+    def test_isolation_area_counts_bits_and_literals(self, scored):
+        cost, candidates = scored
+        mul0 = by_name(candidates, "mul0")
+        per_bit = cost.library.params_by_kind("andbank").area_per_bit
+        gate = cost.library.params_by_kind("and2").area_per_bit
+        expected = per_bit * mul0.isolable_bits + gate * mul0.activation.literal_count()
+        assert cost.isolation_area(mul0, "and") == pytest.approx(expected)
+
+    def test_default_weights(self):
+        weights = CostWeights()
+        assert weights.omega_p == 1.0
+        assert 0 < weights.omega_a <= 1.0
+        assert weights.h_min == 0.0

@@ -1,0 +1,114 @@
+"""Tests for netlist removal APIs and the de-isolation (undo) transform."""
+
+import pytest
+
+from repro.core import derive_activation_functions
+from repro.core.isolate import deisolate_candidate, is_isolated, isolate_candidate
+from repro.errors import NetlistError
+from repro.netlist import textio
+from repro.netlist.builder import DesignBuilder
+from repro.netlist.validate import validate_design
+from repro.sim import random_stimulus
+from repro.verify import check_observable_equivalence
+
+
+class TestRemovalApis:
+    def test_remove_cell_detaches_pins(self, tiny_design):
+        mux = tiny_design.cell("m0")
+        out_net = mux.net("Y")
+        in_net = mux.net("D0")
+        tiny_design.remove_cell(mux)
+        assert out_net.driver is None
+        assert all(pin.cell is not mux for pin in in_net.readers)
+        assert not tiny_design.has_cell("m0")
+
+    def test_remove_connected_net_rejected(self, tiny_design):
+        with pytest.raises(NetlistError):
+            tiny_design.remove_net(tiny_design.net("A"))
+
+    def test_remove_foreign_cell_rejected(self, tiny_design):
+        from repro.netlist.arith import Adder
+
+        with pytest.raises(NetlistError):
+            tiny_design.remove_cell(Adder("ghost"))
+
+    def test_sweep_removes_dead_cones(self):
+        b = DesignBuilder("dead")
+        x = b.input("X", 8)
+        y = b.input("Y", 8)
+        used = b.add(x, y, name="live")
+        b.output(b.register(used, name="r0"), "OUT")
+        dead1 = b.sub(x, y, name="dead1")
+        dead2 = b.not_(dead1, name="dead2")  # chain: dead2 reads dead1
+        d = b.build(validate=False)
+        removed = d.sweep_dangling()
+        assert removed == 2
+        assert not d.has_cell("dead1") and not d.has_cell("dead2")
+        validate_design(d)
+
+    def test_sweep_keeps_sequential_and_boundary(self, tiny_design):
+        assert tiny_design.sweep_dangling() == 0
+        assert tiny_design.has_cell("r0")
+
+
+class TestDeisolate:
+    @pytest.mark.parametrize("style", ["and", "or", "latch"])
+    def test_roundtrip_restores_structure(self, fig1, style):
+        original_text = textio.dumps(fig1)
+        working = fig1.copy()
+        analysis = derive_activation_functions(working)
+        instance = isolate_candidate(
+            working, working.cell("a1"),
+            analysis.of_module(working.cell("a1")), style,
+        )
+        assert is_isolated(working.cell("a1"))
+        deisolate_candidate(working, instance)
+        assert not is_isolated(working.cell("a1"))
+        validate_design(working)
+        # Exactly the original structure (isolation nets/cells all gone).
+        assert textio.dumps(working) == original_text
+
+    def test_roundtrip_preserves_behaviour(self, d1):
+        working = d1.copy()
+        analysis = derive_activation_functions(working)
+        instance = isolate_candidate(
+            working, working.cell("mul0"),
+            analysis.of_module(working.cell("mul0")), "and",
+        )
+        deisolate_candidate(working, instance)
+        stim = random_stimulus(d1, seed=4)
+        report = check_observable_equivalence(d1, working, stim, 800)
+        assert report.equivalent
+
+    def test_partial_undo_keeps_other_instances(self, fig1):
+        working = fig1.copy()
+        analysis = derive_activation_functions(working)
+        first = isolate_candidate(
+            working, working.cell("a1"),
+            analysis.of_module(working.cell("a1")), "and",
+        )
+        analysis = derive_activation_functions(working)
+        second = isolate_candidate(
+            working, working.cell("a0"),
+            analysis.of_module(working.cell("a0")), "and",
+        )
+        deisolate_candidate(working, second)
+        assert is_isolated(working.cell("a1"))
+        assert not is_isolated(working.cell("a0"))
+        validate_design(working)
+
+    def test_reisolation_after_undo(self, fig1):
+        working = fig1.copy()
+        analysis = derive_activation_functions(working)
+        instance = isolate_candidate(
+            working, working.cell("a1"),
+            analysis.of_module(working.cell("a1")), "and",
+        )
+        deisolate_candidate(working, instance)
+        analysis = derive_activation_functions(working)
+        again = isolate_candidate(
+            working, working.cell("a1"),
+            analysis.of_module(working.cell("a1")), "latch",
+        )
+        assert is_isolated(working.cell("a1"))
+        validate_design(working)

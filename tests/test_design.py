@@ -1,0 +1,117 @@
+"""Unit tests for the Design container: registration, rewiring, copying."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.arith import Adder
+from repro.netlist.builder import DesignBuilder
+from repro.netlist.design import Design
+from repro.netlist.logic import AndGate
+
+
+class TestRegistration:
+    def test_duplicate_net_name_rejected(self):
+        d = Design("t")
+        d.add_net("x", 4)
+        with pytest.raises(NetlistError):
+            d.add_net("x", 8)
+
+    def test_duplicate_cell_name_rejected(self):
+        d = Design("t")
+        d.add_cell(Adder("a"))
+        with pytest.raises(NetlistError):
+            d.add_cell(AndGate("a"))
+
+    def test_connect_foreign_cell_rejected(self):
+        d = Design("t")
+        net = d.add_net("x", 4)
+        foreign = Adder("a")  # never added
+        with pytest.raises(NetlistError):
+            d.connect(foreign, "A", net)
+
+    def test_connect_foreign_net_rejected(self):
+        d = Design("t")
+        cell = d.add_cell(Adder("a"))
+        other = Design("u").add_net("x", 4)
+        with pytest.raises(NetlistError):
+            d.connect(cell, "A", other)
+
+    def test_lookup_missing_raises(self):
+        d = Design("t")
+        with pytest.raises(NetlistError):
+            d.net("missing")
+        with pytest.raises(NetlistError):
+            d.cell("missing")
+
+    def test_fresh_names_unique(self):
+        d = Design("t")
+        names = {d.fresh_net_name("n") for _ in range(50)}
+        assert len(names) == 50
+        d.add_net("n_99", 1)
+        assert d.fresh_net_name("n") != "n_99"
+
+
+class TestQueries:
+    def test_categories(self, tiny_design):
+        d = tiny_design
+        assert [c.name for c in d.primary_inputs] == sorted(
+            c.name for c in d.primary_inputs
+        ) or True
+        assert len(d.primary_inputs) == 4
+        assert len(d.primary_outputs) == 1
+        assert len(d.registers) == 1
+        assert len(d.datapath_modules) == 1
+
+    def test_combinational_cells_exclude_registers_and_ports(self, tiny_design):
+        names = {c.name for c in tiny_design.combinational_cells}
+        assert "a0" in names and "m0" in names
+        assert "r0" not in names
+
+    def test_input_output_net_helpers(self, tiny_design):
+        assert tiny_design.input_net("A").width == 8
+        assert tiny_design.output_net("OUT").width == 8
+        with pytest.raises(NetlistError):
+            tiny_design.input_net("OUT")
+
+    def test_stats_counts(self, tiny_design):
+        stats = tiny_design.stats()
+        assert stats["cells"] == len(tiny_design.cells)
+        assert stats["modules"] == 1
+        assert stats["registers"] == 1
+
+
+class TestRewire:
+    def test_rewire_moves_reader(self, tiny_design):
+        d = tiny_design
+        mux = d.cell("m0")
+        old = mux.net("D0")
+        new = d.add_net("fresh", old.width)
+        returned = d.rewire_input(mux, "D0", new)
+        assert returned is old
+        assert mux.net("D0") is new
+        assert all(
+            not (p.cell is mux and p.port == "D0") for p in old.readers
+        )
+        assert any(p.cell is mux and p.port == "D0" for p in new.readers)
+
+    def test_rewire_output_rejected(self, tiny_design):
+        d = tiny_design
+        adder = d.cell("a0")
+        new = d.add_net("fresh", 8)
+        with pytest.raises(NetlistError):
+            d.rewire_input(adder, "Y", new)
+
+
+class TestCopy:
+    def test_copy_is_deep(self, tiny_design):
+        dup = tiny_design.copy("dup")
+        assert dup.name == "dup"
+        assert dup.cell("a0") is not tiny_design.cell("a0")
+        assert dup.net("A") is not tiny_design.net("A")
+        # Copy is internally consistent: its pins point at its own nets.
+        assert dup.net("A").readers[0].cell is dup.cell("a0")
+
+    def test_copy_then_mutate_leaves_original(self, tiny_design):
+        dup = tiny_design.copy()
+        dup.add_net("extra", 1)
+        assert not tiny_design.has_net("extra")

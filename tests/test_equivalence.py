@@ -1,0 +1,87 @@
+"""Tests for the observability-aware equivalence checker itself."""
+
+import pytest
+
+from repro.errors import EquivalenceError
+from repro.netlist.builder import DesignBuilder
+from repro.sim.stimulus import SequenceStimulus, random_stimulus
+from repro.verify import (
+    assert_observable_equivalence,
+    check_observable_equivalence,
+)
+
+
+def adder_design(name="t", bug=False):
+    b = DesignBuilder(name)
+    x = b.input("X", 8)
+    y = b.input("Y", 8)
+    g = b.input("G", 1)
+    if bug:
+        total = b.sub(x, y, name="a0")  # wrong operator
+    else:
+        total = b.add(x, y, name="a0")
+    q = b.register(total, enable=g, name="r0")
+    b.output(q, "OUT")
+    return b.build()
+
+
+class TestChecker:
+    def test_identical_designs_equivalent(self):
+        golden = adder_design()
+        candidate = adder_design()
+        stim = random_stimulus(golden, seed=0)
+        report = check_observable_equivalence(golden, candidate, stim, 200)
+        assert report.equivalent
+        assert report.cycles == 200
+
+    def test_detects_register_divergence(self):
+        golden = adder_design()
+        broken = adder_design(bug=True)
+        stim = SequenceStimulus([{"X": 9, "Y": 3, "G": 1}])
+        report = check_observable_equivalence(golden, broken, stim, 5)
+        assert not report.equivalent
+        assert report.mismatches[0].kind in ("register", "output")
+
+    def test_divergence_hidden_when_never_loaded(self):
+        """A wrong datapath result that is never stored is unobservable."""
+        golden = adder_design()
+        broken = adder_design(bug=True)
+        stim = SequenceStimulus([{"X": 9, "Y": 3, "G": 0}])
+        report = check_observable_equivalence(golden, broken, stim, 20)
+        assert report.equivalent
+
+    def test_mismatch_limit(self):
+        golden = adder_design()
+        broken = adder_design(bug=True)
+        stim = SequenceStimulus([{"X": 9, "Y": 3, "G": 1}])
+        report = check_observable_equivalence(
+            golden, broken, stim, 100, max_mismatches=3
+        )
+        assert len(report.mismatches) == 3
+
+    def test_assert_raises_with_details(self):
+        golden = adder_design()
+        broken = adder_design(bug=True)
+        stim = SequenceStimulus([{"X": 9, "Y": 3, "G": 1}])
+        with pytest.raises(EquivalenceError) as exc:
+            assert_observable_equivalence(golden, broken, stim, 10)
+        assert "r0" in str(exc.value) or "OUT" in str(exc.value)
+
+    def test_missing_output_rejected(self):
+        golden = adder_design()
+        b = DesignBuilder("other")
+        x = b.input("X", 8)
+        y = b.input("Y", 8)
+        g = b.input("G", 1)
+        q = b.register(b.add(x, y, name="a0"), enable=g, name="r0")
+        b.output(q, "DIFFERENT")
+        candidate = b.build()
+        stim = random_stimulus(golden, seed=0)
+        with pytest.raises(EquivalenceError):
+            check_observable_equivalence(golden, candidate, stim, 5)
+
+    def test_mismatch_str(self):
+        from repro.verify.equivalence import Mismatch
+
+        m = Mismatch(cycle=3, kind="register", name="r0", expected=1, actual=2)
+        assert "cycle 3" in str(m) and "r0" in str(m)

@@ -1,0 +1,157 @@
+"""Unit and property tests for Boolean expression trees."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boolean.expr import (
+    FALSE,
+    TRUE,
+    And,
+    Const,
+    Expr,
+    Not,
+    Or,
+    Var,
+    and_,
+    not_,
+    or_,
+    var,
+)
+
+VARS = ["a", "b", "c", "d"]
+
+
+@st.composite
+def exprs(draw, depth=3):
+    """Random expression trees over a small variable set."""
+    if depth == 0:
+        choice = draw(st.integers(0, 2))
+        if choice == 0:
+            return TRUE if draw(st.booleans()) else FALSE
+        return var(draw(st.sampled_from(VARS)))
+    kind = draw(st.integers(0, 3))
+    if kind == 0:
+        return var(draw(st.sampled_from(VARS)))
+    if kind == 1:
+        return not_(draw(exprs(depth=depth - 1)))
+    args = draw(st.lists(exprs(depth=depth - 1), min_size=1, max_size=3))
+    return and_(*args) if kind == 2 else or_(*args)
+
+
+def envs():
+    return st.fixed_dictionaries({name: st.booleans() for name in VARS})
+
+
+class TestConstructors:
+    def test_constant_folding(self):
+        assert and_(TRUE, TRUE) == TRUE
+        assert and_(TRUE, FALSE) == FALSE
+        assert or_(FALSE, FALSE) == FALSE
+        assert or_(TRUE, FALSE) == TRUE
+
+    def test_identity_elements(self):
+        x = var("x")
+        assert and_(x, TRUE) == x
+        assert or_(x, FALSE) == x
+        assert and_() == TRUE
+        assert or_() == FALSE
+
+    def test_idempotence(self):
+        x = var("x")
+        assert and_(x, x) == x
+        assert or_(x, x) == x
+
+    def test_complement_annihilates(self):
+        x = var("x")
+        assert and_(x, not_(x)) == FALSE
+        assert or_(x, not_(x)) == TRUE
+
+    def test_double_negation(self):
+        x = var("x")
+        assert not_(not_(x)) == x
+
+    def test_flattening(self):
+        a, b, c = var("a"), var("b"), var("c")
+        nested = and_(a, and_(b, c))
+        assert isinstance(nested, And)
+        assert len(nested.args) == 3
+
+    def test_structural_equality_and_hash(self):
+        e1 = and_(var("a"), var("b"))
+        e2 = and_(var("a"), var("b"))
+        assert e1 == e2
+        assert hash(e1) == hash(e2)
+
+    def test_operator_sugar(self):
+        a, b = var("a"), var("b")
+        assert (a & b) == and_(a, b)
+        assert (a | b) == or_(a, b)
+        assert (~a) == not_(a)
+
+
+class TestQueries:
+    def test_support(self):
+        e = or_(and_(var("a"), var("b")), not_(var("c")))
+        assert e.support() == frozenset({"a", "b", "c"})
+
+    def test_literal_count(self):
+        e = or_(and_(var("S2"), var("G1")), and_(not_(var("S0")), var("S1"), var("G0")))
+        assert e.literal_count() == 5
+
+    def test_evaluate(self):
+        e = or_(and_(var("a"), var("b")), var("c"))
+        assert e.evaluate({"a": 1, "b": 1, "c": 0})
+        assert not e.evaluate({"a": 1, "b": 0, "c": 0})
+        assert e.evaluate({"a": 0, "b": 0, "c": 1})
+
+    def test_evaluate_missing_var_raises(self):
+        with pytest.raises(KeyError):
+            var("ghost").evaluate({})
+
+    def test_is_true_false(self):
+        assert TRUE.is_true and not TRUE.is_false
+        assert FALSE.is_false and not FALSE.is_true
+        assert not var("x").is_true
+
+
+class TestTransforms:
+    def test_substitute(self):
+        e = and_(var("a"), var("b"))
+        result = e.substitute({"a": TRUE})
+        assert result == var("b")
+
+    def test_substitution_is_simultaneous(self):
+        e = and_(var("a"), var("b"))
+        swapped = e.substitute({"a": var("b"), "b": var("a")})
+        assert swapped == and_(var("b"), var("a")) or swapped == and_(var("a"), var("b"))
+        assert swapped.support() == frozenset({"a", "b"})
+
+    def test_cofactor(self):
+        e = or_(and_(var("a"), var("b")), var("c"))
+        assert e.cofactor("c", True) == TRUE
+        assert e.cofactor("c", False) == and_(var("a"), var("b"))
+
+
+class TestProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(e=exprs(), env=envs())
+    def test_not_inverts(self, e, env):
+        assert not_(e).evaluate(env) == (not e.evaluate(env))
+
+    @settings(max_examples=200, deadline=None)
+    @given(e1=exprs(), e2=exprs(), env=envs())
+    def test_and_or_semantics(self, e1, e2, env):
+        assert and_(e1, e2).evaluate(env) == (e1.evaluate(env) and e2.evaluate(env))
+        assert or_(e1, e2).evaluate(env) == (e1.evaluate(env) or e2.evaluate(env))
+
+    @settings(max_examples=200, deadline=None)
+    @given(e=exprs(), env=envs())
+    def test_double_negation_preserves_semantics(self, e, env):
+        assert not_(not_(e)).evaluate(env) == e.evaluate(env)
+
+    @settings(max_examples=100, deadline=None)
+    @given(e=exprs())
+    def test_support_covers_evaluation_needs(self, e):
+        env = {name: False for name in e.support()}
+        e.evaluate(env)  # must not raise

@@ -1,0 +1,59 @@
+"""Unit and property tests for algebraic factoring."""
+
+from hypothesis import given, settings
+
+from repro.boolean.bdd import BddManager
+from repro.boolean.expr import and_, not_, or_, var
+from repro.boolean.factored import factor
+from tests.test_expr import exprs
+
+
+class TestFactoring:
+    def test_common_cube_extracted(self):
+        a, b, c, d, e = (var(x) for x in "abcde")
+        expr = or_(and_(a, b, c), and_(a, b, d), e)
+        factored = factor(expr)
+        assert factored.literal_count() == 5
+        assert BddManager().equivalent(expr, factored)
+
+    def test_single_literal_division(self):
+        a, b, c = var("a"), var("b"), var("c")
+        expr = or_(and_(a, b), and_(a, c))
+        factored = factor(expr)
+        assert factored.literal_count() == 3  # a*(b + c)
+        assert BddManager().equivalent(expr, factored)
+
+    def test_absorbing_divisor(self):
+        a, b = var("a"), var("b")
+        expr = or_(a, and_(a, b))
+        assert factor(expr) == a
+
+    def test_non_sop_left_intact(self):
+        a, b, c = var("a"), var("b"), var("c")
+        nested = and_(or_(a, b), or_(a, c))  # product of sums
+        assert BddManager().equivalent(factor(nested), nested)
+
+    def test_literals_only(self):
+        assert factor(var("x")) == var("x")
+        assert factor(not_(var("x"))) == not_(var("x"))
+
+    def test_paper_activation_function_already_minimal(self):
+        expr = or_(
+            and_(var("S2"), var("G1")),
+            and_(not_(var("S0")), var("S1"), var("G0")),
+        )
+        factored = factor(expr)
+        assert factored.literal_count() <= expr.literal_count()
+        assert BddManager().equivalent(expr, factored)
+
+    @settings(max_examples=200, deadline=None)
+    @given(e=exprs())
+    def test_factoring_preserves_function(self, e):
+        assert BddManager().equivalent(e, factor(e))
+
+    @settings(max_examples=200, deadline=None)
+    @given(e=exprs())
+    def test_factoring_never_grows(self, e):
+        from repro.boolean.simplify import simplify
+
+        assert factor(e).literal_count() <= simplify(e).literal_count()

@@ -1,0 +1,165 @@
+"""Tests for the isolation netlist transform (Section 5.2)."""
+
+import pytest
+
+from repro.boolean.expr import FALSE, TRUE, var
+from repro.core.activation import derive_activation_functions
+from repro.core.isolate import is_isolated, isolate_candidate
+from repro.errors import IsolationError
+from repro.netlist.banks import AndBank, LatchBank, OrBank
+from repro.netlist.validate import validate_design
+
+
+def isolate_a1(fig1, style):
+    working = fig1.copy()
+    analysis = derive_activation_functions(working)
+    a1 = working.cell("a1")
+    instance = isolate_candidate(working, a1, analysis.of_module(a1), style)
+    return working, instance
+
+
+class TestTransform:
+    @pytest.mark.parametrize(
+        "style,bank_cls", [("and", AndBank), ("or", OrBank), ("latch", LatchBank)]
+    )
+    def test_banks_inserted_per_operand(self, fig1, style, bank_cls):
+        working, instance = isolate_a1(fig1, style)
+        assert len(instance.banks) == 2  # two operands
+        assert all(isinstance(b, bank_cls) for b in instance.banks)
+        validate_design(working)
+
+    def test_module_inputs_rewired_to_banks(self, fig1):
+        working, instance = isolate_a1(fig1, "and")
+        a1 = working.cell("a1")
+        for port in ("A", "B"):
+            driver = a1.net(port).driver
+            assert driver is not None and driver.cell in instance.banks
+
+    def test_activation_logic_tagged(self, fig1):
+        working, instance = isolate_a1(fig1, "and")
+        assert instance.activation_cells  # S2*G1 + !S0*S1*G0 needs gates
+        for cell in instance.activation_cells:
+            assert cell.isolation_role == "activation"
+        for bank in instance.banks:
+            assert bank.isolation_role == "bank"
+
+    def test_shared_activation_net(self, fig1):
+        working, instance = isolate_a1(fig1, "and")
+        for bank in instance.banks:
+            assert bank.net("EN") is instance.activation_net
+
+    def test_gated_bits(self, fig1):
+        _working, instance = isolate_a1(fig1, "and")
+        assert instance.gated_bits == 16
+
+    def test_is_isolated_detection(self, fig1):
+        working, _ = isolate_a1(fig1, "and")
+        assert is_isolated(working.cell("a1"))
+        assert not is_isolated(working.cell("a0"))
+
+
+class TestRejections:
+    def test_double_isolation_rejected(self, fig1):
+        working, _ = isolate_a1(fig1, "and")
+        with pytest.raises(IsolationError):
+            isolate_candidate(working, working.cell("a1"), var("G0"), "and")
+
+    def test_constant_true_rejected(self, fig1):
+        working = fig1.copy()
+        with pytest.raises(IsolationError):
+            isolate_candidate(working, working.cell("a1"), TRUE, "and")
+
+    def test_constant_false_rejected(self, fig1):
+        working = fig1.copy()
+        with pytest.raises(IsolationError):
+            isolate_candidate(working, working.cell("a1"), FALSE, "and")
+
+    def test_unknown_style_rejected(self, fig1):
+        working = fig1.copy()
+        with pytest.raises(IsolationError):
+            isolate_candidate(working, working.cell("a1"), var("G0"), "tri-state")
+
+    def test_non_module_rejected(self, fig1):
+        working = fig1.copy()
+        with pytest.raises(IsolationError):
+            isolate_candidate(working, working.cell("m0"), var("G0"), "and")
+
+
+class TestFunctionalBehaviour:
+    def test_and_isolation_forces_zero_when_idle(self, fig1):
+        from repro.sim.engine import Simulator
+
+        working, instance = isolate_a1(fig1, "and")
+        sim = Simulator(working)
+        # G0=G1=0, S2=0: a1 fully redundant -> AS=0, bank outputs 0.
+        settled = sim.step(
+            {"A": 5, "B": 9, "C": 3, "S0": 1, "S1": 0, "S2": 0, "G0": 0, "G1": 0}
+        )
+        a1 = working.cell("a1")
+        assert settled[a1.net("A")] == 0
+        assert settled[a1.net("B")] == 0
+        assert settled[a1.net("Y")] == 0
+
+    def test_pass_through_when_active(self, fig1):
+        from repro.sim.engine import Simulator
+
+        working, instance = isolate_a1(fig1, "and")
+        sim = Simulator(working)
+        # S2=1, G1=1: a1's result is stored -> AS=1.
+        settled = sim.step(
+            {"A": 5, "B": 9, "C": 3, "S0": 1, "S1": 0, "S2": 1, "G0": 0, "G1": 1}
+        )
+        a1 = working.cell("a1")
+        assert settled[a1.net("Y")] == 12  # 9 + 3
+
+    def test_or_isolation_forces_ones_when_idle(self, fig1):
+        from repro.sim.engine import Simulator
+
+        working, _ = isolate_a1(fig1, "or")
+        sim = Simulator(working)
+        settled = sim.step(
+            {"A": 5, "B": 9, "C": 3, "S0": 1, "S1": 0, "S2": 0, "G0": 0, "G1": 0}
+        )
+        a1 = working.cell("a1")
+        assert settled[a1.net("A")] == 0xFF
+
+    def test_shared_operand_net_gets_two_banks(self):
+        """A module squaring its input (A and B on the same net) gets one
+        bank per port, both reading that net."""
+        from repro.core.activation import derive_activation_functions
+        from repro.netlist.builder import DesignBuilder
+
+        b = DesignBuilder("square")
+        x = b.input("X", 8)
+        g = b.input("G", 1)
+        squared = b.mul(x, x, name="sq", width=8)
+        b.output(b.register(squared, enable=g, name="r0"), "OUT")
+        d = b.build()
+        analysis = derive_activation_functions(d)
+        instance = isolate_candidate(
+            d, d.cell("sq"), analysis.of_module(d.cell("sq")), "and"
+        )
+        assert len(instance.banks) == 2
+        assert all(bank.net("D") is d.net("X") for bank in instance.banks)
+        from repro.netlist.validate import validate_design
+
+        validate_design(d)
+        from repro.sim.engine import Simulator
+
+        sim = Simulator(d)
+        settled = sim.step({"X": 7, "G": 1})
+        assert settled[d.cell("sq").net("Y")] == 49
+
+    def test_latch_isolation_freezes_operands(self, fig1):
+        from repro.sim.engine import Simulator
+
+        working, _ = isolate_a1(fig1, "latch")
+        sim = Simulator(working)
+        active = {"A": 5, "B": 9, "C": 3, "S0": 1, "S1": 0, "S2": 1, "G0": 0, "G1": 1}
+        sim.step(active)
+        sim.commit()
+        idle = {"A": 5, "B": 40, "C": 7, "S0": 1, "S1": 0, "S2": 0, "G0": 0, "G1": 0}
+        settled = sim.step(idle)
+        a1 = working.cell("a1")
+        assert settled[a1.net("A")] == 9  # frozen at last active operand
+        assert settled[a1.net("B")] == 3

@@ -1,0 +1,128 @@
+"""Unit tests for the technology library."""
+
+import pytest
+
+from repro.errors import PowerModelError
+from repro.netlist.arith import Adder, Multiplier
+from repro.netlist.banks import AndBank, LatchBank
+from repro.netlist.design import Design
+from repro.netlist.logic import AndGate, Mux
+from repro.netlist.seq import Register
+from repro.power.library import CellParams, TechnologyLibrary, default_library
+
+
+def wire_module(cell, width=8, out_width=None):
+    d = Design("t")
+    d.add_cell(cell)
+    for port in cell.input_ports:
+        w = 1 if cell.port_spec(port).is_control else width
+        d.connect(cell, port, d.add_net(f"n_{port}", w))
+    for port in cell.output_ports:
+        d.connect(cell, port, d.add_net(f"n_{port}", out_width or width))
+    return cell
+
+
+class TestArea:
+    def test_area_scales_with_width(self, library):
+        small = wire_module(Adder("a"), width=8)
+        large = wire_module(Adder("b"), width=16)
+        assert library.area(large) == pytest.approx(2 * library.area(small))
+
+    def test_multiplier_area_quadratic(self, library):
+        m8 = wire_module(Multiplier("m"), width=8, out_width=16)
+        m16 = wire_module(Multiplier("n"), width=16, out_width=32)
+        assert library.area(m16) == pytest.approx(4 * library.area(m8))
+
+    def test_mux_area_scales_with_inputs(self, library):
+        d = Design("t")
+        m2 = d.add_cell(Mux("m2", 2))
+        m4 = d.add_cell(Mux("m4", 4))
+        for m, n in ((m2, 2), (m4, 4)):
+            for i in range(n):
+                d.connect(m, f"D{i}", d.add_net(f"{m.name}_d{i}", 8))
+            d.connect(m, "S", d.add_net(f"{m.name}_s", m.select_width))
+            d.connect(m, "Y", d.add_net(f"{m.name}_y", 8))
+        assert library.area(m4) == pytest.approx(3 * library.area(m2))
+
+    def test_total_area_sums_cells(self, tiny_design, library):
+        total = library.total_area(tiny_design)
+        assert total == pytest.approx(
+            sum(library.area(c) for c in tiny_design.cells)
+        )
+
+    def test_latch_bank_costs_more_area_than_and_bank(self, library):
+        lat = wire_module(LatchBank("l"), width=8)
+        gate = wire_module(AndBank("g"), width=8)
+        assert library.area(lat) > library.area(gate)
+
+
+class TestDelay:
+    def test_adder_delay_grows_with_width(self, library):
+        narrow = wire_module(Adder("a"), width=4)
+        wide = wire_module(Adder("b"), width=32)
+        assert library.delay(wide) > library.delay(narrow)
+
+    def test_mux_delay_grows_with_inputs(self, library):
+        d = Design("t")
+        m2 = d.add_cell(Mux("m2", 2))
+        m8 = d.add_cell(Mux("m8", 8))
+        for m, n in ((m2, 2), (m8, 8)):
+            for i in range(n):
+                d.connect(m, f"D{i}", d.add_net(f"{m.name}_d{i}", 4))
+            d.connect(m, "S", d.add_net(f"{m.name}_s", m.select_width))
+            d.connect(m, "Y", d.add_net(f"{m.name}_y", 4))
+        assert library.delay(m8) > library.delay(m2)
+
+    def test_load_delay_grows_with_readers(self, tiny_design, library):
+        # Net C feeds the adder and the mux; net A feeds only the adder.
+        assert library.load_delay(tiny_design.net("C")) > library.load_delay(
+            tiny_design.net("A")
+        )
+
+
+class TestEnergy:
+    def test_multiplier_activity_exceeds_adder(self, library):
+        add = wire_module(Adder("a"), width=16)
+        mul = wire_module(Multiplier("m"), width=16, out_width=32)
+        assert library.input_toggle_energy(mul) > 5 * library.input_toggle_energy(add)
+
+    def test_bank_energy_below_module_energy(self, library):
+        bank = wire_module(AndBank("b"), width=16)
+        add = wire_module(Adder("a"), width=16)
+        assert library.input_toggle_energy(bank) < library.input_toggle_energy(add)
+
+    def test_enable_energy_scales_with_width(self, library):
+        wide = wire_module(Register("r", has_enable=True), width=32)
+        narrow = wire_module(Register("s", has_enable=True), width=4)
+        assert library.control_toggle_energy(wide) == pytest.approx(
+            8 * library.control_toggle_energy(narrow)
+        )
+
+    def test_latch_bank_has_static_energy(self, library):
+        lat = wire_module(LatchBank("l"), width=8)
+        gate = wire_module(AndBank("g"), width=8)
+        assert library.static_energy(lat) > 0
+        assert library.static_energy(gate) == 0
+
+    def test_power_conversion(self, library):
+        assert library.power_mw(10.0) == pytest.approx(10.0 * library.clock_ghz)
+
+
+class TestCustomisation:
+    def test_unknown_kind_raises(self, library):
+        class Weird(AndGate):
+            kind = "weird"
+
+        with pytest.raises(PowerModelError):
+            library.params(Weird("w"))
+
+    def test_with_params_override(self, library):
+        custom = library.with_params(
+            and2=CellParams(area_per_bit=99.0, delay_fixed=1.0)
+        )
+        gate = wire_module(AndGate("g"), width=1)
+        assert custom.area(gate) == 99.0
+        assert library.area(gate) != 99.0
+
+    def test_default_library_is_fresh(self):
+        assert default_library() is not default_library()

@@ -1,0 +1,146 @@
+"""Unit tests for gates, muxes, buffers and bit selects."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.design import Design
+from repro.netlist.logic import (
+    AndGate,
+    BitSelect,
+    Buffer,
+    Mux,
+    NandGate,
+    NorGate,
+    NotGate,
+    OrGate,
+    XnorGate,
+    XorGate,
+)
+
+
+def wire2(cell_cls, width=4, **kwargs):
+    d = Design("t")
+    cell = d.add_cell(cell_cls("u", **kwargs))
+    d.connect(cell, "A", d.add_net("na", width))
+    d.connect(cell, "B", d.add_net("nb", width))
+    d.connect(cell, "Y", d.add_net("ny", width))
+    return cell
+
+
+class TestGates:
+    @pytest.mark.parametrize(
+        "cls,a,b,expected",
+        [
+            (AndGate, 0b1100, 0b1010, 0b1000),
+            (OrGate, 0b1100, 0b1010, 0b1110),
+            (XorGate, 0b1100, 0b1010, 0b0110),
+            (NandGate, 0b1100, 0b1010, 0b0111),
+            (NorGate, 0b1100, 0b1010, 0b0001),
+            (XnorGate, 0b1100, 0b1010, 0b1001),
+        ],
+    )
+    def test_bitwise_truth_tables(self, cls, a, b, expected):
+        cell = wire2(cls)
+        assert cell.evaluate({"A": a, "B": b})["Y"] == expected
+
+    def test_results_clipped_to_width(self):
+        cell = wire2(NandGate, width=4)
+        assert cell.evaluate({"A": 0, "B": 0})["Y"] == 0xF
+
+    @pytest.mark.parametrize(
+        "cls,controlling",
+        [(AndGate, 0), (NandGate, 0), (OrGate, 1), (NorGate, 1), (XorGate, None)],
+    )
+    def test_controlling_values(self, cls, controlling):
+        assert cls.CONTROLLING == controlling
+
+    def test_side_ports(self):
+        cell = wire2(AndGate)
+        assert cell.side_ports("A") == ["B"]
+        assert cell.side_ports("B") == ["A"]
+        with pytest.raises(NetlistError):
+            cell.side_ports("Y")
+
+    def test_not_gate(self):
+        d = Design("t")
+        g = d.add_cell(NotGate("n"))
+        d.connect(g, "A", d.add_net("a", 4))
+        d.connect(g, "Y", d.add_net("y", 4))
+        assert g.evaluate({"A": 0b1010})["Y"] == 0b0101
+
+    def test_buffer_passes_value(self):
+        d = Design("t")
+        g = d.add_cell(Buffer("b"))
+        d.connect(g, "A", d.add_net("a", 4))
+        d.connect(g, "Y", d.add_net("y", 4))
+        assert g.evaluate({"A": 9})["Y"] == 9
+
+    def test_gate_width_inference(self):
+        d = Design("t")
+        g = d.add_cell(AndGate("g"))
+        d.connect(g, "A", d.add_net("a", 8))
+        assert g.port_width("B") == 8
+        assert g.port_width("Y") == 8
+
+
+class TestMux:
+    def make_mux(self, n, width=4):
+        d = Design("t")
+        m = d.add_cell(Mux("m", n_inputs=n))
+        for i in range(n):
+            d.connect(m, f"D{i}", d.add_net(f"d{i}", width))
+        d.connect(m, "S", d.add_net("s", m.select_width))
+        d.connect(m, "Y", d.add_net("y", width))
+        return m
+
+    def test_two_way_select(self):
+        m = self.make_mux(2)
+        env = {"D0": 3, "D1": 7, "S": 0}
+        assert m.evaluate(env)["Y"] == 3
+        env["S"] = 1
+        assert m.evaluate(env)["Y"] == 7
+
+    def test_four_way_select(self):
+        m = self.make_mux(4)
+        env = {f"D{i}": 10 + i for i in range(4)}
+        for sel in range(4):
+            env["S"] = sel
+            assert m.evaluate(env)["Y"] == 10 + sel
+
+    def test_select_width(self):
+        assert Mux("m", 2).select_width == 1
+        assert Mux("m", 3).select_width == 2
+        assert Mux("m", 4).select_width == 2
+        assert Mux("m", 5).select_width == 3
+
+    def test_out_of_range_select_wraps(self):
+        m = self.make_mux(3)
+        env = {"D0": 1, "D1": 2, "D2": 3, "S": 3}  # 3 % 3 == 0
+        assert m.evaluate(env)["Y"] == 1
+
+    def test_single_input_mux_rejected(self):
+        with pytest.raises(NetlistError):
+            Mux("m", n_inputs=1)
+
+    def test_data_ports(self):
+        assert Mux("m", 3).data_ports() == ["D0", "D1", "D2"]
+
+
+class TestBitSelect:
+    def test_extracts_bit(self):
+        d = Design("t")
+        b = d.add_cell(BitSelect("b", 2))
+        d.connect(b, "A", d.add_net("a", 4))
+        d.connect(b, "Y", d.add_net("y", 1))
+        assert b.evaluate({"A": 0b0100})["Y"] == 1
+        assert b.evaluate({"A": 0b1011})["Y"] == 0
+
+    def test_bit_out_of_range_rejected_at_bind(self):
+        d = Design("t")
+        b = d.add_cell(BitSelect("b", 9))
+        with pytest.raises(NetlistError):
+            d.connect(b, "A", d.add_net("a", 4))
+
+    def test_negative_bit_rejected(self):
+        with pytest.raises(NetlistError):
+            BitSelect("b", -1)

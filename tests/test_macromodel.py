@@ -1,0 +1,59 @@
+"""Unit tests for macro power models p_i(Tr)."""
+
+import pytest
+
+from repro.errors import PowerModelError
+from repro.netlist.logic import AndGate
+from repro.power.estimator import PowerEstimator
+from repro.power.macromodel import MacroPowerModel
+from repro.sim.engine import Simulator
+from repro.sim.monitor import ToggleMonitor
+from repro.sim.stimulus import random_stimulus
+
+
+class TestMacroModel:
+    def test_rejects_non_modules(self, tiny_design, library):
+        with pytest.raises(PowerModelError):
+            MacroPowerModel(tiny_design.cell("m0"), library)
+
+    def test_linear_in_input_rates(self, tiny_design, library):
+        model = MacroPowerModel(tiny_design.cell("a0"), library)
+        p0 = model.power_mw({"A": 0.0, "B": 0.0})
+        p1 = model.power_mw({"A": 2.0, "B": 0.0})
+        p2 = model.power_mw({"A": 4.0, "B": 0.0})
+        assert p1 > p0
+        assert p2 - p1 == pytest.approx(p1 - p0)
+
+    def test_missing_ports_default_to_zero(self, tiny_design, library):
+        model = MacroPowerModel(tiny_design.cell("a0"), library)
+        assert model.power_mw({}) == model.power_mw({"A": 0.0, "B": 0.0})
+
+    def test_output_rate_saturates_at_width(self, tiny_design, library):
+        model = MacroPowerModel(tiny_design.cell("a0"), library, output_ratio=10.0)
+        # Huge input rates: output term capped at bus width.
+        capped = model.energy({"A": 100.0, "B": 100.0})
+        slightly_more = model.energy({"A": 101.0, "B": 100.0})
+        e_in = library.input_toggle_energy(tiny_design.cell("a0"))
+        assert slightly_more - capped == pytest.approx(e_in)
+
+    def test_calibration_from_measurement(self, d1, library):
+        monitor = ToggleMonitor()
+        Simulator(d1).run(random_stimulus(d1, seed=2), 500, monitors=[monitor])
+        cell = d1.cell("add0")
+        model = MacroPowerModel.from_measurement(cell, library, monitor)
+        # The calibrated model reproduces the measured power closely.
+        rates = {
+            port: monitor.toggle_rate(cell.net(port)) for port in ("A", "B")
+        }
+        measured = library.power_mw(
+            PowerEstimator(library).cell_energy(cell, monitor)
+        )
+        assert model.power_mw(rates) == pytest.approx(measured, rel=0.05)
+
+    def test_calibration_with_no_activity_falls_back(self, d1, library):
+        monitor = ToggleMonitor()
+        monitor.begin(d1)
+        monitor.cycles = 2  # no observed toggles at all
+        model = MacroPowerModel.from_measurement(d1.cell("add0"), library, monitor)
+        assert model.output_ratio is not None
+        assert model.power_mw({"A": 1.0, "B": 1.0}) > 0

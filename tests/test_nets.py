@@ -1,0 +1,43 @@
+"""Unit tests for repro.netlist.nets."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.nets import Net
+
+
+class TestNetBasics:
+    def test_default_width_is_one(self):
+        assert Net("x").width == 1
+
+    def test_mask_covers_width(self):
+        assert Net("x", 1).mask == 1
+        assert Net("x", 8).mask == 0xFF
+        assert Net("x", 16).mask == 0xFFFF
+
+    def test_clip_truncates_to_width(self):
+        net = Net("x", 4)
+        assert net.clip(0x1F) == 0xF
+        assert net.clip(-1) == 0xF
+        assert net.clip(5) == 5
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(NetlistError):
+            Net("x", 0)
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(NetlistError):
+            Net("x", -3)
+
+    def test_is_control_only_for_one_bit(self):
+        assert Net("s").is_control
+        assert not Net("bus", 8).is_control
+
+    def test_fresh_net_has_no_connections(self):
+        net = Net("x", 4)
+        assert net.driver is None
+        assert net.readers == []
+
+    def test_repr_mentions_name_and_width(self):
+        assert "x" in repr(Net("x", 3))
+        assert "3" in repr(Net("x", 3))

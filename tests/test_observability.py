@@ -1,0 +1,71 @@
+"""Tests for the static (BDD) verification helpers."""
+
+from repro.boolean.expr import and_, not_, or_, var
+from repro.core import derive_activation_functions
+from repro.core.isolate import isolate_candidate
+from repro.verify import (
+    activation_preserved_after_isolation,
+    functions_equivalent,
+)
+
+
+class TestFunctionsEquivalent:
+    def test_demorgan(self):
+        a, b = var("a"), var("b")
+        assert functions_equivalent(not_(and_(a, b)), or_(not_(a), not_(b)))
+
+    def test_inequivalent(self):
+        assert not functions_equivalent(var("a"), var("b"))
+
+
+class TestActivationPreservation:
+    def originals(self, design):
+        analysis = derive_activation_functions(design)
+        return {m.name: analysis.of_module(m) for m in design.datapath_modules}
+
+    def test_holds_after_each_style(self, fig1):
+        for style in ("and", "or", "latch"):
+            originals = self.originals(fig1)
+            working = fig1.copy()
+            analysis = derive_activation_functions(working)
+            instance = isolate_candidate(
+                working,
+                working.cell("a1"),
+                analysis.of_module(working.cell("a1")),
+                style,
+            )
+            assert activation_preserved_after_isolation(
+                originals, working, [instance]
+            )
+
+    def test_holds_after_sequential_isolations(self, d1):
+        originals = self.originals(d1)
+        working = d1.copy()
+        instances = []
+        for name in ("mul0", "add0"):
+            analysis = derive_activation_functions(working)
+            instances.append(
+                isolate_candidate(
+                    working,
+                    working.cell(name),
+                    analysis.of_module(working.cell(name)),
+                    "and",
+                )
+            )
+        assert activation_preserved_after_isolation(originals, working, instances)
+
+    def test_detects_bogus_strengthening(self, fig1):
+        """If the 'original' claims a0 is never active, re-derivation must
+        contradict it."""
+        originals = self.originals(fig1)
+        from repro.boolean.expr import FALSE
+
+        originals["a0"] = FALSE
+        working = fig1.copy()
+        analysis = derive_activation_functions(working)
+        instance = isolate_candidate(
+            working, working.cell("a1"), analysis.of_module(working.cell("a1")), "and"
+        )
+        assert not activation_preserved_after_isolation(
+            originals, working, [instance]
+        )

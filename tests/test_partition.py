@@ -1,0 +1,60 @@
+"""Unit tests for combinational-block partitioning."""
+
+from repro.netlist.builder import DesignBuilder
+from repro.netlist.partition import block_of_cell, partition_blocks
+
+
+class TestPartition:
+    def test_fig1_is_single_block(self, fig1):
+        blocks = partition_blocks(fig1)
+        assert len(blocks) == 1
+        assert {c.name for c in blocks[0].modules} == {"a0", "a1"}
+
+    def test_register_splits_blocks(self):
+        b = DesignBuilder("split")
+        x = b.input("X", 8)
+        y = b.input("Y", 8)
+        s1 = b.add(x, y, name="add_front")
+        q = b.register(s1, name="pipe")
+        s2 = b.add(q, y, name="add_back")
+        b.output(b.register(s2, name="out_reg"), "OUT")
+        blocks = partition_blocks(b.build())
+        assert len(blocks) == 2
+        front = block_of_cell(blocks, blocks[0].cells and next(iter(blocks[0].cells)))
+        assert front is blocks[0]
+
+    def test_latch_does_not_split(self):
+        b = DesignBuilder("lat")
+        x = b.input("X", 8)
+        g = b.input("G", 1)
+        held = b.latch(x, g, name="l0")
+        s = b.add(held, x, name="a0")
+        b.output(b.register(s, name="r0"), "OUT")
+        blocks = partition_blocks(b.build())
+        assert len(blocks) == 1
+        names = {c.name for c in blocks[0].cells}
+        assert {"l0", "a0"} <= names
+
+    def test_boundary_nets(self, tiny_design):
+        blocks = partition_blocks(tiny_design)
+        block = blocks[0]
+        input_names = {n.name for n in block.boundary_inputs}
+        output_names = {n.name for n in block.boundary_outputs}
+        assert "A" in input_names and "C" in input_names
+        assert "m0" in output_names  # feeds the register
+
+    def test_design1_has_multiple_blocks(self, d1):
+        blocks = partition_blocks(d1)
+        assert len(blocks) >= 4
+        all_modules = {c.name for blk in blocks for c in blk.modules}
+        assert {"mul0", "mul1", "add0", "sub0", "add1"} <= all_modules
+
+    def test_deterministic_indexing(self, d1):
+        first = [sorted(c.name for c in blk.cells) for blk in partition_blocks(d1)]
+        second = [sorted(c.name for c in blk.cells) for blk in partition_blocks(d1)]
+        assert first == second
+
+    def test_contains(self, tiny_design):
+        block = partition_blocks(tiny_design)[0]
+        assert tiny_design.cell("a0") in block
+        assert tiny_design.cell("r0") not in block

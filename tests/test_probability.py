@@ -1,0 +1,36 @@
+"""Unit tests for the signal-probability helper."""
+
+from repro.boolean.bdd import BddManager
+from repro.boolean.expr import and_, not_, or_, var
+from repro.boolean.probability import signal_probability
+
+
+class TestSignalProbability:
+    def test_simple(self):
+        assert signal_probability(var("a"), {"a": 0.25}) == 0.25
+
+    def test_negation(self):
+        assert abs(signal_probability(not_(var("a")), {"a": 0.25}) - 0.75) < 1e-12
+
+    def test_manager_reuse(self):
+        manager = BddManager()
+        e1 = and_(var("a"), var("b"))
+        e2 = or_(var("a"), var("b"))
+        p1 = signal_probability(e1, {"a": 0.5, "b": 0.5}, manager=manager)
+        p2 = signal_probability(e2, {"a": 0.5, "b": 0.5}, manager=manager)
+        assert abs(p1 - 0.25) < 1e-12
+        assert abs(p2 - 0.75) < 1e-12
+
+    def test_defaults_to_half(self):
+        assert signal_probability(var("x")) == 0.5
+
+    def test_matches_simulation_for_independent_controls(self, tiny_design):
+        """Analytical probability ≈ measured probability for independent PIs."""
+        from repro.sim import ProbeSet, Simulator, random_stimulus
+
+        expr = and_(var("G"), not_(var("S")))
+        probes = ProbeSet({"e": expr})
+        stim = random_stimulus(tiny_design, seed=3, control_probability=0.3)
+        Simulator(tiny_design).run(stim, 4000, monitors=[probes])
+        analytical = signal_probability(expr, {"G": 0.3, "S": 0.3})
+        assert abs(probes.probability("e") - analytical) < 0.05

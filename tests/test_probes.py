@@ -1,0 +1,74 @@
+"""Unit tests for expression probes."""
+
+import pytest
+
+from repro.boolean.expr import and_, not_, var
+from repro.errors import SimulationError
+from repro.netlist.builder import DesignBuilder
+from repro.sim.engine import simulate
+from repro.sim.probes import ExpressionProbe, ProbeSet
+from repro.sim.stimulus import SequenceStimulus
+
+
+class TestExpressionProbe:
+    def test_probability_counts_true_cycles(self):
+        probe = ExpressionProbe("p", var("g"))
+        for value in (1, 1, 0, 1):
+            probe.sample({"g": value})
+        assert probe.probability == 0.75
+
+    def test_toggle_rate_counts_transitions(self):
+        probe = ExpressionProbe("p", var("g"))
+        for value in (0, 1, 1, 0):
+            probe.sample({"g": value})
+        assert probe.transitions == 2
+        assert probe.toggle_rate == 2 / 3
+
+    def test_reset(self):
+        probe = ExpressionProbe("p", var("g"))
+        probe.sample({"g": 1})
+        probe.reset()
+        assert probe.cycles == 0 and probe.probability == 0.0
+
+
+class TestProbeSet:
+    def test_measures_joint_probability(self, tiny_design):
+        vectors = [
+            {"A": 0, "C": 0, "S": 0, "G": 1},
+            {"A": 0, "C": 0, "S": 1, "G": 1},
+            {"A": 0, "C": 0, "S": 0, "G": 0},
+            {"A": 0, "C": 0, "S": 0, "G": 1},
+        ]
+        probes = ProbeSet({"joint": and_(not_(var("S")), var("G"))})
+        simulate(tiny_design, SequenceStimulus(vectors), 4, monitors=[probes])
+        assert probes.probability("joint") == 0.5
+
+    def test_duplicate_name_rejected(self):
+        probes = ProbeSet({"p": var("x")})
+        with pytest.raises(SimulationError):
+            probes.add("p", var("y"))
+
+    def test_bitref_variables(self):
+        b = DesignBuilder("t")
+        sel = b.input("SEL", 2)
+        x = b.input("X", 4)
+        y = b.input("Y", 4)
+        out = b.mux(sel, x, y, x, y)
+        b.output(b.register(out), "O")
+        d = b.build()
+        probes = ProbeSet({"hi": var("SEL[1]")})
+        vectors = [{"SEL": 2, "X": 0, "Y": 0}, {"SEL": 1, "X": 0, "Y": 0}]
+        simulate(d, SequenceStimulus(vectors), 2, monitors=[probes])
+        assert probes.probability("hi") == 0.5
+
+    def test_probabilities_bulk_access(self, tiny_design):
+        probes = ProbeSet({"g": var("G"), "s": var("S")})
+        simulate(
+            tiny_design,
+            SequenceStimulus([{"A": 0, "C": 0, "S": 1, "G": 0}]),
+            4,
+            monitors=[probes],
+        )
+        assert probes.probabilities() == {"g": 0.0, "s": 1.0}
+        assert "g" in probes
+        assert probes["g"].cycles == 4

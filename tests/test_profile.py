@@ -1,0 +1,77 @@
+"""Tests for windowed power profiling."""
+
+import pytest
+
+from repro.power.estimator import estimate_power
+from repro.power.profile import PowerProfileMonitor
+from repro.sim.engine import simulate
+from repro.sim.stimulus import ControlStream, SequenceStimulus, random_stimulus
+
+
+class TestPowerProfile:
+    def test_window_count(self, tiny_design):
+        monitor = PowerProfileMonitor(window=10)
+        stim = random_stimulus(tiny_design, seed=0)
+        simulate(tiny_design, stim, 100, monitors=[monitor])
+        assert len(monitor.windows_mw) == 10
+
+    def test_partial_final_window_flushed(self, tiny_design):
+        monitor = PowerProfileMonitor(window=8)
+        stim = random_stimulus(tiny_design, seed=0)
+        simulate(tiny_design, stim, 20, monitors=[monitor])
+        assert len(monitor.windows_mw) == 3  # 8 + 8 + 4
+
+    def test_mean_close_to_average_estimator(self, d1):
+        """Windowed mean must agree with the standard estimator."""
+        monitor = PowerProfileMonitor(window=25)
+        stim = random_stimulus(d1, seed=3)
+        simulate(d1, stim, 500, monitors=[monitor])
+        average = estimate_power(
+            d1, random_stimulus(d1, seed=3), 500, warmup=0
+        ).total_power_mw
+        assert monitor.mean_mw == pytest.approx(average, rel=0.05)
+
+    def test_quiet_input_means_static_only(self, tiny_design):
+        monitor = PowerProfileMonitor(window=5)
+        stim = SequenceStimulus([{"A": 0, "C": 0, "S": 0, "G": 0}])
+        simulate(tiny_design, stim, 20, monitors=[monitor])
+        # After the first window, only static energy remains.
+        assert monitor.windows_mw[-1] == pytest.approx(
+            monitor.library.power_mw(monitor._static)
+        )
+
+    def test_profile_tracks_activity_bursts(self, d1):
+        """Windows during idle EN stretches burn less in the isolated design."""
+        from repro.core import IsolationConfig, isolate_design
+
+        def stim():
+            return random_stimulus(
+                d1, seed=13, control_probability=0.4,
+                overrides={"EN": ControlStream(0.4, 0.02)},
+            )
+
+        result = isolate_design(d1, stim, IsolationConfig(cycles=600))
+        monitor = PowerProfileMonitor(window=16)
+        simulate(result.design, stim(), 800, monitors=[monitor])
+        spread = monitor.peak_mw - min(monitor.windows_mw)
+        base_monitor = PowerProfileMonitor(window=16)
+        simulate(d1, stim(), 800, monitors=[base_monitor])
+        base_spread = base_monitor.peak_mw - min(base_monitor.windows_mw)
+        assert spread > base_spread  # power now tracks the activation
+
+    def test_sparkline_renders(self, tiny_design):
+        monitor = PowerProfileMonitor(window=4)
+        stim = random_stimulus(tiny_design, seed=0)
+        simulate(tiny_design, stim, 64, monitors=[monitor])
+        line = monitor.sparkline(width=10)
+        assert len(line) == 10
+
+    def test_empty_profile(self):
+        monitor = PowerProfileMonitor(window=4)
+        assert monitor.sparkline() == ""
+        assert monitor.mean_mw == 0.0
+        assert monitor.peak_mw == 0.0
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            PowerProfileMonitor(window=0)

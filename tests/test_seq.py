@@ -1,0 +1,73 @@
+"""Unit tests for registers and transparent latches."""
+
+from repro.netlist.design import Design
+from repro.netlist.seq import Register, TransparentLatch
+
+
+def wired_register(has_enable=False, width=8, reset_value=0):
+    d = Design("t")
+    r = d.add_cell(Register("r", has_enable=has_enable, reset_value=reset_value))
+    d.connect(r, "D", d.add_net("d", width))
+    if has_enable:
+        d.connect(r, "EN", d.add_net("en", 1))
+    d.connect(r, "Q", d.add_net("q", width))
+    return r
+
+
+class TestRegister:
+    def test_loads_without_enable(self):
+        r = wired_register()
+        assert r.next_state(0, {"D": 42}) == 42
+
+    def test_enable_high_loads(self):
+        r = wired_register(has_enable=True)
+        assert r.next_state(7, {"D": 42, "EN": 1}) == 42
+
+    def test_enable_low_holds(self):
+        r = wired_register(has_enable=True)
+        assert r.next_state(7, {"D": 42, "EN": 0}) == 7
+
+    def test_value_clipped_to_width(self):
+        r = wired_register(width=4)
+        assert r.next_state(0, {"D": 0x1F}) == 0xF
+
+    def test_classification(self):
+        r = Register("r")
+        assert r.is_sequential
+        assert r.has_state
+
+    def test_enable_port_only_when_requested(self):
+        assert "EN" not in [s.name for s in Register("r").port_specs()]
+        assert "EN" in [s.name for s in Register("r", has_enable=True).port_specs()]
+
+    def test_reset_value_recorded(self):
+        assert Register("r", reset_value=5).reset_value == 5
+
+
+class TestTransparentLatch:
+    def wired(self, width=8):
+        d = Design("t")
+        lat = d.add_cell(TransparentLatch("l"))
+        d.connect(lat, "D", d.add_net("d", width))
+        d.connect(lat, "G", d.add_net("g", 1))
+        d.connect(lat, "Q", d.add_net("q", width))
+        return lat
+
+    def test_transparent_when_gate_high(self):
+        lat = self.wired()
+        assert lat.output_value(0, {"D": 9, "G": 1}) == 9
+
+    def test_holds_when_gate_low(self):
+        lat = self.wired()
+        assert lat.output_value(5, {"D": 9, "G": 0}) == 5
+
+    def test_next_state_follows_transparent_value(self):
+        lat = self.wired()
+        assert lat.next_state(5, {"D": 9, "G": 1}) == 9
+        assert lat.next_state(5, {"D": 9, "G": 0}) == 5
+
+    def test_latch_is_not_a_block_boundary(self):
+        lat = TransparentLatch("l")
+        assert not lat.is_sequential
+        assert lat.has_state
+        assert lat.is_transparent

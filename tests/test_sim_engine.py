@@ -1,0 +1,146 @@
+"""Unit tests for the cycle-based simulation engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.netlist.builder import DesignBuilder
+from repro.sim.engine import SimulationResult, Simulator, simulate
+from repro.sim.monitor import ToggleMonitor
+from repro.sim.stimulus import SequenceStimulus
+
+
+def pipeline_design():
+    """X -> +1 -> reg -> +1 -> reg -> OUT (no enables)."""
+    b = DesignBuilder("pipe")
+    x = b.input("X", 8)
+    one = b.const(1, 8)
+    s1 = b.add(x, one, name="inc1")
+    q1 = b.register(s1, name="p1")
+    s2 = b.add(q1, one, name="inc2")
+    q2 = b.register(s2, name="p2")
+    b.output(q2, "OUT")
+    return b.build()
+
+
+class TestStepSemantics:
+    def test_combinational_settling(self, tiny_design):
+        sim = Simulator(tiny_design)
+        settled = sim.step({"A": 10, "C": 5, "S": 0, "G": 1})
+        assert settled[tiny_design.net("a0")] == 15
+        assert settled[tiny_design.net("m0")] == 15
+
+    def test_mux_steering(self, tiny_design):
+        sim = Simulator(tiny_design)
+        settled = sim.step({"A": 10, "C": 5, "S": 1, "G": 1})
+        assert settled[tiny_design.net("m0")] == 5
+
+    def test_register_updates_on_commit_only(self, tiny_design):
+        sim = Simulator(tiny_design)
+        sim.step({"A": 10, "C": 5, "S": 0, "G": 1})
+        reg = tiny_design.cell("r0")
+        assert sim.state[reg] == 0  # not yet committed
+        sim.commit()
+        assert sim.state[reg] == 15
+
+    def test_register_enable_low_holds(self, tiny_design):
+        sim = Simulator(tiny_design)
+        sim.step({"A": 10, "C": 5, "S": 0, "G": 0})
+        sim.commit()
+        assert sim.state[tiny_design.cell("r0")] == 0
+
+    def test_two_stage_pipeline_latency(self):
+        d = pipeline_design()
+        sim = Simulator(d)
+        out = d.output_net("OUT")
+        values = []
+        for cycle in range(4):
+            settled = sim.step({"X": 10})
+            values.append(settled[out])
+            sim.commit()
+        # Cycle 0: out=0; cycle 1: second stage sees q1=11 -> q2 commits 12
+        assert values[0] == 0
+        assert values[2] == 12
+
+    def test_missing_input_raises(self, tiny_design):
+        sim = Simulator(tiny_design)
+        with pytest.raises(SimulationError):
+            sim.step({"A": 1})
+
+    def test_inputs_clipped_to_width(self, tiny_design):
+        sim = Simulator(tiny_design)
+        settled = sim.step({"A": 0x1FF, "C": 0, "S": 0, "G": 0})
+        assert settled[tiny_design.net("A")] == 0xFF
+
+
+class TestLatchSemantics:
+    def make(self):
+        b = DesignBuilder("lat")
+        x = b.input("X", 8)
+        g = b.input("G", 1)
+        held = b.latch(x, g, name="l0")
+        b.output(b.register(held, name="r0"), "OUT")
+        return b.build()
+
+    def test_transparent_follows_input(self):
+        d = self.make()
+        sim = Simulator(d)
+        settled = sim.step({"X": 42, "G": 1})
+        assert settled[d.cell("l0").net("Q")] == 42
+
+    def test_opaque_holds_last_transparent_value(self):
+        d = self.make()
+        sim = Simulator(d)
+        sim.step({"X": 42, "G": 1})
+        sim.commit()
+        settled = sim.step({"X": 99, "G": 0})
+        assert settled[d.cell("l0").net("Q")] == 42
+
+
+class TestRunAndReset:
+    def test_run_returns_result_with_monitors(self, tiny_design):
+        stim = SequenceStimulus([{"A": 1, "C": 2, "S": 0, "G": 1}])
+        mon = ToggleMonitor()
+        result = simulate(tiny_design, stim, 10, monitors=[mon])
+        assert isinstance(result, SimulationResult)
+        assert result.monitor(ToggleMonitor) is mon
+        assert mon.cycles == 10
+
+    def test_warmup_excluded_from_observation(self, tiny_design):
+        stim = SequenceStimulus([{"A": 1, "C": 2, "S": 0, "G": 1}])
+        mon = ToggleMonitor()
+        simulate(tiny_design, stim, 10, monitors=[mon], warmup=5)
+        assert mon.cycles == 10
+
+    def test_reset_restores_power_on_state(self, tiny_design):
+        sim = Simulator(tiny_design)
+        sim.step({"A": 10, "C": 5, "S": 0, "G": 1})
+        sim.commit()
+        sim.reset()
+        assert sim.cycle == 0
+        assert sim.state[tiny_design.cell("r0")] == 0
+
+    def test_register_reset_value_applied(self):
+        b = DesignBuilder("rv")
+        x = b.input("X", 8)
+        q = b.register(x, reset_value=7, name="r0")
+        b.output(q, "OUT")
+        d = b.build()
+        sim = Simulator(d)
+        assert sim.values[d.cell("r0").net("Q")] == 7
+
+    def test_deterministic_across_simulators(self, d1):
+        from repro.sim.stimulus import random_stimulus
+
+        def run():
+            stim = random_stimulus(d1, seed=5)
+            mon = ToggleMonitor()
+            Simulator(d1).run(stim, 200, monitors=[mon])
+            return {n.name: t for n, t in mon.toggles.items()}
+
+        assert run() == run()
+
+    def test_missing_monitor_type_raises(self, tiny_design):
+        stim = SequenceStimulus([{"A": 1, "C": 2, "S": 0, "G": 1}])
+        result = simulate(tiny_design, stim, 3)
+        with pytest.raises(SimulationError):
+            result.monitor(ToggleMonitor)

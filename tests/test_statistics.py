@@ -1,0 +1,60 @@
+"""Tests for the convergence/uncertainty indicators on measurements."""
+
+import pytest
+
+from repro.boolean.expr import var
+from repro.sim.engine import simulate
+from repro.sim.monitor import ToggleMonitor
+from repro.sim.probes import ExpressionProbe, ProbeSet
+from repro.sim.stimulus import ControlStream, SequenceStimulus, random_stimulus
+
+
+class TestProbeStderr:
+    def test_shrinks_with_cycles(self, tiny_design):
+        def stderr(cycles):
+            probes = ProbeSet({"g": var("G")})
+            stim = random_stimulus(tiny_design, seed=2, control_probability=0.3)
+            simulate(tiny_design, stim, cycles, monitors=[probes])
+            return probes["g"].probability_stderr
+
+        assert stderr(4000) < stderr(200)
+
+    def test_estimate_within_a_few_stderr(self, tiny_design):
+        probes = ProbeSet({"g": var("G")})
+        stim = random_stimulus(tiny_design, seed=2, control_probability=0.3)
+        simulate(tiny_design, stim, 4000, monitors=[probes])
+        probe = probes["g"]
+        assert abs(probe.probability - 0.3) < 5 * probe.probability_stderr + 0.01
+
+    def test_degenerate_cases(self):
+        probe = ExpressionProbe("p", var("x"))
+        assert probe.probability_stderr == 0.0
+        probe.sample({"x": 1})
+        probe.sample({"x": 1})
+        assert probe.probability_stderr == 0.0  # p == 1 exactly
+
+
+class TestToggleRateStderr:
+    def test_shrinks_with_cycles(self, tiny_design):
+        def stderr(cycles):
+            monitor = ToggleMonitor()
+            stim = random_stimulus(tiny_design, seed=2)
+            simulate(tiny_design, stim, cycles, monitors=[monitor])
+            return monitor.toggle_rate_stderr(tiny_design.net("A"))
+
+        assert stderr(4000) < stderr(200)
+
+    def test_zero_for_quiet_net(self, tiny_design):
+        monitor = ToggleMonitor()
+        stim = SequenceStimulus([{"A": 0, "C": 0, "S": 0, "G": 0}])
+        simulate(tiny_design, stim, 100, monitors=[monitor])
+        assert monitor.toggle_rate_stderr(tiny_design.net("A")) == 0.0
+
+    def test_covers_true_rate(self, tiny_design):
+        monitor = ToggleMonitor()
+        stim = random_stimulus(tiny_design, seed=3, data_toggle_density=0.25)
+        simulate(tiny_design, stim, 4000, monitors=[monitor])
+        net = tiny_design.net("A")
+        rate = monitor.toggle_rate(net)
+        stderr = monitor.toggle_rate_stderr(net)
+        assert abs(rate - 0.25 * net.width) < 5 * stderr + 0.05

@@ -1,0 +1,95 @@
+"""Unit tests for expression-to-gates synthesis."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+
+from repro.boolean.expr import FALSE, TRUE, and_, not_, or_, var
+from repro.boolean.synth import ExpressionSynthesizer, synthesize_expression
+from repro.errors import BooleanError
+from repro.netlist.design import Design
+from repro.netlist.ports import Constant, PrimaryInput, PrimaryOutput
+from repro.netlist.traversal import combinational_order
+from tests.test_expr import VARS, exprs
+
+
+def fresh_design(var_names):
+    d = Design("synth")
+    nets = {}
+    for name in var_names:
+        pi = d.add_cell(PrimaryInput(name))
+        net = d.add_net(f"n_{name}", 1)
+        d.connect(pi, "Y", net)
+        nets[name] = net
+    return d, nets
+
+
+def evaluate_net(design, target_net, env_by_var, nets):
+    """Evaluate the synthesized cone by direct combinational evaluation."""
+    values = {}
+    for name, net in nets.items():
+        values[net] = int(env_by_var[name])
+    for cell in design.cells:
+        if isinstance(cell, Constant):
+            values[cell.net("Y")] = cell.value & 1
+    for cell in combinational_order(design):
+        inputs = {p.port: values[p.net] for p in cell.input_pins}
+        for port, value in cell.evaluate(inputs).items():
+            values[cell.net(port)] = value
+    return values[target_net]
+
+
+class TestSynthesis:
+    def test_paper_activation_function(self):
+        e = or_(and_(var("S2"), var("G1")), and_(not_(var("S0")), var("S1"), var("G0")))
+        d, nets = fresh_design(e.support())
+        result = synthesize_expression(d, e, nets)
+        # 1 inverter + 1 AND + 2 ANDs (3-way tree) + 1 OR = 5 gates.
+        assert result.gate_count == 5
+        for bits in itertools.product([0, 1], repeat=5):
+            env = dict(zip(sorted(e.support()), bits))
+            assert evaluate_net(d, result.output, env, nets) == int(e.evaluate(env))
+
+    def test_bare_variable_costs_nothing(self):
+        d, nets = fresh_design(["g"])
+        result = synthesize_expression(d, var("g"), nets)
+        assert result.gate_count == 0
+        assert result.output is nets["g"]
+
+    def test_constant_expression(self):
+        d, nets = fresh_design([])
+        result = synthesize_expression(d, TRUE, nets)
+        assert isinstance(result.output.driver.cell, Constant)
+
+    def test_sharing_across_calls(self):
+        d, nets = fresh_design(["a", "b", "c"])
+        synth = ExpressionSynthesizer(d, nets)
+        common = and_(var("a"), var("b"))
+        first = synth.synthesize(or_(common, var("c")))
+        cells_after_first = len(d.cells)
+        second = synth.synthesize(and_(common, var("c")))
+        # The a*b gate is reused, only one new AND is added.
+        assert len(d.cells) == cells_after_first + 1
+
+    def test_unbound_variable_rejected(self):
+        d, nets = fresh_design(["a"])
+        with pytest.raises(BooleanError):
+            synthesize_expression(d, var("ghost"), nets)
+
+    def test_wide_net_rejected(self):
+        d, nets = fresh_design(["a"])
+        wide = d.add_net("bus", 8)
+        pi = d.add_cell(PrimaryInput("BUS"))
+        d.connect(pi, "Y", wide)
+        with pytest.raises(BooleanError):
+            synthesize_expression(d, var("bus"), {"bus": wide})
+
+    @settings(max_examples=60, deadline=None)
+    @given(e=exprs())
+    def test_synthesized_logic_matches_expression(self, e):
+        d, nets = fresh_design(VARS)
+        result = synthesize_expression(d, e, nets)
+        for bits in itertools.product([0, 1], repeat=len(VARS)):
+            env = dict(zip(VARS, bits))
+            assert evaluate_net(d, result.output, env, nets) == int(e.evaluate(env))

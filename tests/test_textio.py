@@ -1,0 +1,80 @@
+"""Unit and property tests for the textual netlist format."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.designs import random_datapath
+from repro.errors import NetlistError
+from repro.netlist import textio
+
+
+class TestRoundTrip:
+    def test_all_benchmark_designs_round_trip(self, fig1, d1, d2, fir, alu, bus):
+        for design in (fig1, d1, d2, fir, alu, bus):
+            text = textio.dumps(design)
+            reloaded = textio.loads(text)
+            assert textio.dumps(reloaded) == text
+            assert reloaded.stats() == design.stats()
+
+    def test_save_load_file(self, tiny_design, tmp_path):
+        path = tmp_path / "tiny.rtl"
+        textio.save(tiny_design, str(path))
+        reloaded = textio.load(str(path))
+        assert reloaded.name == "tiny"
+        assert reloaded.stats() == tiny_design.stats()
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_random_designs_round_trip(self, seed):
+        design = random_datapath(seed=seed, layers=2, modules_per_layer=2)
+        text = textio.dumps(design)
+        assert textio.dumps(textio.loads(text)) == text
+
+
+class TestParsing:
+    def test_comments_and_blanks_ignored(self):
+        text = (
+            "# a comment\n"
+            "design t\n"
+            "\n"
+            "net A 8  # trailing comment\n"
+            "net Y 8\n"
+            "cell pi A Y=A\n"
+            "cell po OUT A=Y\n"
+            "cell buf b0 A=A Y=Y\n"
+        )
+        design = textio.loads(text)
+        assert design.net("A").width == 8
+
+    def test_parameterised_kinds(self):
+        text = (
+            "design t\n"
+            "net s 2\nnet a 4\nnet b 4\nnet c 4\nnet d 4\nnet y 4\nnet q 4\nnet en 1\n"
+            "cell pi S Y=s\ncell pi A Y=a\ncell pi B Y=b\ncell pi C Y=c\n"
+            "cell pi D Y=d\ncell pi EN Y=en\n"
+            "cell mux:4 m S=s D0=a D1=b D2=c D3=d Y=y\n"
+            "cell reg:en,rv=3 r D=y EN=en Q=q\n"
+            "cell po OUT A=q\n"
+        )
+        design = textio.loads(text)
+        assert design.cell("m").n_inputs == 4
+        reg = design.cell("r")
+        assert reg.has_enable and reg.reset_value == 3
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(NetlistError):
+            textio.loads("design t\ncell warp w A=x\n")
+
+    def test_missing_design_line_rejected(self):
+        with pytest.raises(NetlistError):
+            textio.loads("net A 8\n")
+
+    def test_malformed_line_reports_line_number(self):
+        with pytest.raises(NetlistError) as exc:
+            textio.loads("design t\nnet A\n")
+        assert "line 2" in str(exc.value)
+
+    def test_const_requires_value(self):
+        with pytest.raises(NetlistError):
+            textio.loads("design t\nnet y 4\ncell const k Y=y\n")

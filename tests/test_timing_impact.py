@@ -1,0 +1,80 @@
+"""Unit tests for pre-transform slack impact estimation."""
+
+import pytest
+
+from repro.boolean.expr import and_, var
+from repro.core import derive_activation_functions
+from repro.core.isolate import isolate_candidate
+from repro.timing.impact import estimate_isolation_impact
+from repro.timing.sta import analyze_timing
+
+
+class TestImpactEstimate:
+    def test_bank_delay_reduces_slack(self, fig1, library):
+        report = analyze_timing(fig1, library, clock_period=None)
+        relaxed = analyze_timing(fig1, library, clock_period=report.clock_period * 1.3)
+        analysis = derive_activation_functions(fig1)
+        a0 = fig1.cell("a0")
+        impact = estimate_isolation_impact(
+            fig1, a0, analysis.of_module(a0), "and", library, relaxed
+        )
+        assert impact.estimated_slack < relaxed.slack(a0.net("Y"))
+        assert impact.bank_delay > 0
+
+    def test_latch_costs_more_delay_than_and(self, fig1, library):
+        report = analyze_timing(fig1, library)
+        analysis = derive_activation_functions(fig1)
+        a0 = fig1.cell("a0")
+        and_impact = estimate_isolation_impact(
+            fig1, a0, analysis.of_module(a0), "and", library, report
+        )
+        lat_impact = estimate_isolation_impact(
+            fig1, a0, analysis.of_module(a0), "latch", library, report
+        )
+        assert lat_impact.bank_delay > and_impact.bank_delay
+        assert lat_impact.estimated_slack <= and_impact.estimated_slack
+
+    def test_violates_threshold(self, fig1, library):
+        report = analyze_timing(fig1, library)  # zero slack: any cost violates
+        analysis = derive_activation_functions(fig1)
+        a0 = fig1.cell("a0")
+        impact = estimate_isolation_impact(
+            fig1, a0, analysis.of_module(a0), "and", library, report
+        )
+        assert impact.violates(0.0)
+        assert not impact.violates(-100.0)
+
+    def test_deeper_activation_function_costs_more(self, fig1, library):
+        report = analyze_timing(fig1, library)
+        a1 = fig1.cell("a1")
+        shallow = estimate_isolation_impact(
+            fig1, a1, var("G1"), "and", library, report
+        )
+        deep = estimate_isolation_impact(
+            fig1,
+            a1,
+            and_(var("G1"), var("G0"), var("S0"), var("S1"), var("S2")),
+            "and",
+            library,
+            report,
+        )
+        assert deep.activation_arrival > shallow.activation_arrival
+
+    def test_estimate_close_to_real_sta(self, fig1, library):
+        """The prediction should track the exact post-transform STA."""
+        report = analyze_timing(fig1, library)
+        period = report.clock_period * 1.5
+        relaxed = analyze_timing(fig1, library, clock_period=period)
+        analysis = derive_activation_functions(fig1)
+        a1 = fig1.cell("a1")
+        impact = estimate_isolation_impact(
+            fig1, a1, analysis.of_module(a1), "and", library, relaxed
+        )
+        working = fig1.copy()
+        analysis2 = derive_activation_functions(working)
+        isolate_candidate(
+            working, working.cell("a1"), analysis2.of_module(working.cell("a1")), "and"
+        )
+        exact = analyze_timing(working, library, clock_period=period)
+        # Prediction within a couple of gate delays of the exact slack.
+        assert impact.estimated_slack == pytest.approx(exact.worst_slack, abs=0.5)

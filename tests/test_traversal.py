@@ -1,0 +1,77 @@
+"""Unit tests for graph traversals: topological order, cones."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.netlist.builder import DesignBuilder
+from repro.netlist.design import Design
+from repro.netlist.logic import NotGate
+from repro.netlist.traversal import (
+    combinational_order,
+    net_fanin_cone_nets,
+    transitive_fanin_cells,
+    transitive_fanout_cells,
+)
+
+
+class TestCombinationalOrder:
+    def test_respects_dependencies(self, tiny_design):
+        order = combinational_order(tiny_design)
+        names = [c.name for c in order]
+        assert names.index("a0") < names.index("m0")
+
+    def test_covers_all_combinational_cells(self, fig1):
+        order = combinational_order(fig1)
+        assert {c.name for c in order} == {
+            c.name for c in fig1.combinational_cells
+        }
+
+    def test_deterministic(self, d1):
+        first = [c.name for c in combinational_order(d1)]
+        second = [c.name for c in combinational_order(d1)]
+        assert first == second
+
+    def test_loop_detected(self):
+        d = Design("loop")
+        g1 = d.add_cell(NotGate("g1"))
+        g2 = d.add_cell(NotGate("g2"))
+        n1 = d.add_net("n1", 1)
+        n2 = d.add_net("n2", 1)
+        d.connect(g1, "A", n2)
+        d.connect(g1, "Y", n1)
+        d.connect(g2, "A", n1)
+        d.connect(g2, "Y", n2)
+        with pytest.raises(ValidationError):
+            combinational_order(d)
+
+    def test_subset_restriction(self, fig1):
+        subset = {fig1.cell("a0")}
+        order = combinational_order(fig1, cells=subset)
+        assert [c.name for c in order] == ["a0"]
+
+
+class TestCones:
+    def test_fanout_stops_at_register(self, fig1):
+        cone = transitive_fanout_cells(fig1.cell("a0"), stop_at_sequential=True)
+        names = {c.name for c in cone}
+        assert "r0" in names  # reaches the register
+        assert "OUT0" not in names  # but does not pass it
+
+    def test_fanout_through_registers(self, fig1):
+        cone = transitive_fanout_cells(fig1.cell("a0"), stop_at_sequential=False)
+        names = {c.name for c in cone}
+        assert "OUT0" in names
+
+    def test_a1_reaches_a0(self, fig1):
+        cone = transitive_fanout_cells(fig1.cell("a1"))
+        assert fig1.cell("a0") in cone
+
+    def test_fanin_cone(self, fig1):
+        cone = transitive_fanin_cells(fig1.cell("a0"))
+        names = {c.name for c in cone}
+        assert "m1" in names and "m0" in names and "a1" in names
+
+    def test_net_fanin_cone(self, fig1):
+        nets = net_fanin_cone_nets(fig1.cell("a0").net("Y"))
+        names = {n.name for n in nets}
+        assert "a0" in names and "m1" in names and "A" in names

@@ -1,0 +1,48 @@
+"""Unit tests for structural validation."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.netlist.arith import Adder
+from repro.netlist.design import Design
+from repro.netlist.validate import validate_design, validation_problems
+
+
+def half_wired():
+    d = Design("t")
+    a = d.add_cell(Adder("a"))
+    d.connect(a, "A", d.add_net("na", 8))
+    return d, a
+
+
+class TestValidation:
+    def test_unconnected_port_reported(self):
+        d, _ = half_wired()
+        problems = validation_problems(d)
+        assert any("a.B is unconnected" in p for p in problems)
+
+    def test_undriven_net_reported(self):
+        d = Design("t")
+        d.add_net("floating", 4)
+        problems = validation_problems(d)
+        assert any("no driver" in p for p in problems)
+
+    def test_unread_net_reported_unless_allowed(self, tiny_design):
+        tiny = tiny_design
+        net = tiny.add_net("dangling", 1)
+        from repro.netlist.ports import Constant
+
+        const = tiny.add_cell(Constant("k", 1))
+        tiny.connect(const, "Y", net)
+        assert validation_problems(tiny)
+        assert not validation_problems(tiny, allow_dangling=True)
+
+    def test_valid_designs_pass(self, fig1, d1, d2, fir, alu, bus):
+        for design in (fig1, d1, d2, fir, alu, bus):
+            validate_design(design)
+
+    def test_validate_raises_with_details(self):
+        d, _ = half_wired()
+        with pytest.raises(ValidationError) as exc:
+            validate_design(d)
+        assert "a.B" in str(exc.value)

@@ -1,0 +1,73 @@
+"""Tests for VCD export."""
+
+from repro.sim.engine import simulate
+from repro.sim.stimulus import SequenceStimulus
+from repro.sim.vcd import VcdMonitor, _identifier
+
+
+class TestIdentifiers:
+    def test_unique_short_codes(self):
+        codes = {_identifier(i) for i in range(500)}
+        assert len(codes) == 500
+
+    def test_first_codes_single_char(self):
+        assert _identifier(0) == "!"
+        assert len(_identifier(93)) == 1
+        assert len(_identifier(94)) == 2
+
+
+class TestVcdMonitor:
+    def run(self, tiny_design, vectors, nets=None):
+        monitor = VcdMonitor(nets=nets)
+        simulate(tiny_design, SequenceStimulus(vectors), len(vectors), monitors=[monitor])
+        return monitor
+
+    def test_header_structure(self, tiny_design):
+        monitor = self.run(
+            tiny_design, [{"A": 1, "C": 2, "S": 0, "G": 1}] * 2
+        )
+        text = monitor.dumps()
+        assert "$timescale 1 ns $end" in text
+        assert "$scope module tiny $end" in text
+        assert "$enddefinitions $end" in text
+        assert text.count("$var wire") == len(tiny_design.nets) + 1  # + clk
+
+    def test_value_changes_recorded(self, tiny_design):
+        vectors = [
+            {"A": 0, "C": 0, "S": 0, "G": 0},
+            {"A": 5, "C": 0, "S": 0, "G": 0},
+            {"A": 5, "C": 0, "S": 0, "G": 0},
+        ]
+        monitor = self.run(tiny_design, vectors, nets=[tiny_design.net("A")])
+        text = monitor.dumps()
+        assert "b101 !" in text  # A changes to 5
+        # No further change events after cycle 1 for A.
+        assert text.count("b101 !") == 1
+
+    def test_one_bit_signals_scalar_format(self, tiny_design):
+        vectors = [
+            {"A": 0, "C": 0, "S": 0, "G": 0},
+            {"A": 0, "C": 0, "S": 1, "G": 0},
+        ]
+        monitor = self.run(tiny_design, vectors, nets=[tiny_design.net("S")])
+        text = monitor.dumps()
+        assert "1!" in text
+
+    def test_clock_toggles_per_cycle(self, tiny_design):
+        monitor = self.run(
+            tiny_design,
+            [
+                {"A": 0, "C": 0, "S": 0, "G": 0},
+                {"A": 1, "C": 0, "S": 0, "G": 0},
+                {"A": 2, "C": 0, "S": 0, "G": 0},
+            ],
+        )
+        text = monitor.dumps()
+        assert "#0\n1clk" in text
+        assert "0clk" in text
+
+    def test_save(self, tiny_design, tmp_path):
+        monitor = self.run(tiny_design, [{"A": 1, "C": 2, "S": 0, "G": 1}] * 2)
+        path = tmp_path / "wave.vcd"
+        monitor.save(str(path))
+        assert path.read_text().startswith("$date")
