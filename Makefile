@@ -1,18 +1,23 @@
 # Convenience targets for the repro library.
+#
+# test/bench run straight from the source tree (no editable install
+# needed) — the same invocation CI and the tier-1 check use.
 
 .PHONY: install test bench examples verify all clean
+
+PYTEST = PYTHONPATH=src python -m pytest
 
 install:
 	pip install -e . || python setup.py develop
 
 test:
-	pytest tests/
+	$(PYTEST) -x -q
 
 bench:
-	pytest benchmarks/ --benchmark-only
+	$(PYTEST) -q benchmarks/
 
 examples:
-	for f in examples/*.py; do echo "== $$f"; python $$f; done
+	for f in examples/*.py; do echo "== $$f"; PYTHONPATH=src python $$f; done
 
 verify: test bench
 

@@ -10,17 +10,22 @@ compares against.
 
 Quickstart::
 
-    from repro import designs, core
-    design = designs.paper_example()
-    result = core.isolate_design(design, style="and")
-    print(result.summary())
+    from repro import api, designs
+    session = api.Session(designs.design1(),
+                          run=api.RunConfig(engine="compiled"))
+    print(session.isolate(style="auto").summary())
+
+The :mod:`repro.api` facade bundles the whole surface; the per-package
+deep imports (``repro.core``, ``repro.sim``, ...) remain available.
 """
 
 __version__ = "1.0.0"
 
-from repro import baselines, boolean, core, designs, netlist, power, sim, timing, verify
+from repro import api, baselines, boolean, core, designs, netlist, power, sim, timing, verify
+from repro.runconfig import ENGINES, RunConfig
 
 __all__ = [
+    "api",
     "netlist",
     "boolean",
     "sim",
@@ -30,4 +35,6 @@ __all__ = [
     "designs",
     "baselines",
     "verify",
+    "RunConfig",
+    "ENGINES",
 ]

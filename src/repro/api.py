@@ -1,0 +1,229 @@
+"""The one-stop facade: ``repro.api``.
+
+Everything the library does — power estimation, candidate ranking,
+Algorithm-1 isolation, style comparison, activation derivation — is
+reachable from one :class:`Session` object bound to a design, a
+stimulus recipe and a :class:`~repro.runconfig.RunConfig`::
+
+    from repro import api
+
+    session = api.Session(designs.design1(), run=api.RunConfig(engine="compiled"))
+    print(session.estimate().total_power_mw)
+    print(session.isolate(style="auto").summary())
+    print(api.format_ranking(session.rank()))
+
+Designs come from :func:`load` / :func:`loads` (textual netlist format)
+or any generator in :mod:`repro.designs`. When no stimulus is given, a
+fresh :func:`~repro.sim.stimulus.random_stimulus` with the session's
+seed is built per run, so repeated calls see identical statistics.
+
+The deep import paths (``repro.core.isolate_design``,
+``repro.power.estimate_power``, ...) keep working; this module only
+bundles them. See ``docs/api.md`` for the full facade map.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import List, Optional
+
+from repro.core.algorithm import (
+    IsolationConfig,
+    IsolationResult,
+    StageTimings,
+    isolate_design,
+)
+from repro.core.activation import ActivationAnalysis, derive_activation_functions
+from repro.core.cost import CostWeights
+from repro.core.explore import RankedCandidate, format_ranking, rank_candidates
+from repro.core.report import (
+    StyleComparison,
+    compare_styles,
+    format_comparison_table,
+)
+from repro.netlist import textio
+from repro.netlist.design import Design
+from repro.power.estimator import PowerBreakdown, estimate_power
+from repro.power.library import TechnologyLibrary, default_library
+from repro.runconfig import ENGINES, RunConfig
+from repro.sim.engine import SimulationResult, make_simulator
+from repro.sim.stimulus import Stimulus, random_stimulus
+
+
+class Session:
+    """A design plus its run context, with every analysis one call away.
+
+    Parameters
+    ----------
+    design:
+        The design under analysis (never modified; transforms work on
+        copies, as in :func:`~repro.core.algorithm.isolate_design`).
+    stimulus:
+        A stimulus object (deep-copied per run so every run sees
+        identical statistics), a zero-argument factory returning a fresh
+        stimulus, or ``None`` to use a random stimulus seeded with
+        ``run.seed``.
+    library:
+        Technology library; defaults to
+        :func:`~repro.power.library.default_library`.
+    run:
+        Default :class:`RunConfig` for every method; each method also
+        accepts a per-call ``run=`` override.
+    """
+
+    def __init__(
+        self,
+        design: Design,
+        stimulus=None,
+        library: Optional[TechnologyLibrary] = None,
+        run: Optional[RunConfig] = None,
+    ) -> None:
+        self.design = design
+        self.library = library or default_library()
+        self.run = run or RunConfig()
+        self._stimulus = stimulus
+
+    # ------------------------------------------------------------------
+    def _run(self, run: Optional[RunConfig]) -> RunConfig:
+        return run if run is not None else self.run
+
+    def stimulus(self, run: Optional[RunConfig] = None) -> Stimulus:
+        """One fresh stimulus per call (identical statistics each time)."""
+        if self._stimulus is None:
+            return random_stimulus(self.design, seed=self._run(run).seed)
+        if callable(self._stimulus) and not hasattr(self._stimulus, "values"):
+            return self._stimulus()
+        return copy.deepcopy(self._stimulus)
+
+    def _stimulus_source(self, run: Optional[RunConfig]):
+        # isolate_design/compare_styles re-pull the stimulus per
+        # estimation run themselves; hand them a factory.
+        return lambda: self.stimulus(run)
+
+    def _config(
+        self,
+        config: Optional[IsolationConfig],
+        style: Optional[str],
+        run: Optional[RunConfig],
+    ) -> IsolationConfig:
+        cfg = self._run(run)
+        if config is None:
+            config = IsolationConfig(
+                style=style or "and",
+                cycles=cfg.cycles,
+                warmup=cfg.warmup,
+                engine=cfg.engine,
+            )
+        elif style is not None and style != config.style:
+            import dataclasses
+
+            config = dataclasses.replace(config, style=style)
+        return config
+
+    # ------------------------------------------------------------------
+    def simulate(
+        self, monitors=None, run: Optional[RunConfig] = None
+    ) -> SimulationResult:
+        """Run the session's stimulus through the design once."""
+        cfg = self._run(run)
+        return make_simulator(self.design, cfg.engine).run(
+            self.stimulus(run), cfg.cycles, monitors=monitors, warmup=cfg.warmup
+        )
+
+    def estimate(self, run: Optional[RunConfig] = None) -> PowerBreakdown:
+        """Power breakdown of the design under the session stimulus."""
+        return estimate_power(
+            self.design, self.stimulus(run), library=self.library, run=self._run(run)
+        )
+
+    def isolate(
+        self,
+        style: Optional[str] = None,
+        config: Optional[IsolationConfig] = None,
+        run: Optional[RunConfig] = None,
+    ) -> IsolationResult:
+        """Run Algorithm 1; returns the full :class:`IsolationResult`."""
+        return isolate_design(
+            self.design,
+            self._stimulus_source(run),
+            self._config(config, style, run),
+            self.library,
+        )
+
+    def rank(
+        self,
+        style: str = "and",
+        weights: Optional[CostWeights] = None,
+        clock_period: Optional[float] = None,
+        lookahead_depth: int = 0,
+        run: Optional[RunConfig] = None,
+    ) -> List[RankedCandidate]:
+        """What-if assessment of every candidate, best first."""
+        return rank_candidates(
+            self.design,
+            self.stimulus(run),
+            style=style,
+            weights=weights,
+            library=self.library,
+            clock_period=clock_period,
+            lookahead_depth=lookahead_depth,
+            run=self._run(run),
+        )
+
+    def compare(
+        self,
+        styles: Optional[List[str]] = None,
+        config: Optional[IsolationConfig] = None,
+        run: Optional[RunConfig] = None,
+    ) -> StyleComparison:
+        """Paper-style table comparing isolation styles."""
+        return compare_styles(
+            self.design,
+            self._stimulus_source(run),
+            self._config(config, None, run),
+            self.library,
+            styles=styles,
+        )
+
+    def activation(self) -> ActivationAnalysis:
+        """Derived activation functions of every datapath module."""
+        return derive_activation_functions(self.design)
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Session(design={self.design.name!r}, "
+            f"engine={self.run.engine!r}, cycles={self.run.cycles})"
+        )
+
+
+def load(path: str, **session_kwargs) -> Session:
+    """Read a textual netlist file into a ready-to-use :class:`Session`."""
+    return Session(textio.load(path), **session_kwargs)
+
+
+def loads(text: str, **session_kwargs) -> Session:
+    """Parse textual netlist source into a ready-to-use :class:`Session`."""
+    return Session(textio.loads(text), **session_kwargs)
+
+
+__all__ = [
+    "Session",
+    "load",
+    "loads",
+    "RunConfig",
+    "ENGINES",
+    "IsolationConfig",
+    "IsolationResult",
+    "StageTimings",
+    "CostWeights",
+    "PowerBreakdown",
+    "RankedCandidate",
+    "StyleComparison",
+    "estimate_power",
+    "isolate_design",
+    "rank_candidates",
+    "compare_styles",
+    "format_ranking",
+    "format_comparison_table",
+]

@@ -35,6 +35,7 @@ from repro.core.algorithm import (
     IsolationConfig,
     IsolationResult,
     IterationRecord,
+    StageTimings,
     isolate_design,
 )
 from repro.core.report import StyleComparison, compare_styles, format_comparison_table
@@ -59,6 +60,7 @@ __all__ = [
     "IsolationConfig",
     "IsolationResult",
     "IterationRecord",
+    "StageTimings",
     "isolate_design",
     "StyleComparison",
     "compare_styles",

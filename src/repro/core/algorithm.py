@@ -22,7 +22,8 @@ period, i.e. the quantities of the paper's Tables 1 and 2.
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Set, Union
 
 from repro.core.activation import derive_activation_functions
@@ -35,7 +36,8 @@ from repro.netlist.design import Design
 from repro.netlist.partition import partition_blocks
 from repro.power.estimator import PowerEstimator
 from repro.power.library import TechnologyLibrary, default_library
-from repro.sim.engine import Simulator
+from repro.runconfig import ENGINES, RunConfig, resolve_run_config
+from repro.sim.engine import Simulator, make_simulator
 from repro.sim.monitor import ToggleMonitor
 from repro.sim.stimulus import Stimulus
 from repro.timing.impact import estimate_isolation_impact
@@ -82,6 +84,10 @@ class IsolationConfig:
     max_iterations:
         Safety bound on the main loop; the loop normally exits because
         no candidate clears ``h_min``.
+    engine:
+        Simulation backend for every estimation run: ``"python"`` (the
+        reference interpreter) or ``"compiled"`` (the pre-bound kernel
+        backend of :mod:`repro.sim.compile`; bit-exact, much faster).
     """
 
     style: str = "and"
@@ -94,6 +100,13 @@ class IsolationConfig:
     refined_savings: bool = True
     lookahead_depth: int = 0
     max_iterations: int = 25
+    engine: str = "python"
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise IsolationError(
+                f"unknown engine {self.engine!r}; choose one of {ENGINES}"
+            )
 
 
 @dataclass
@@ -104,6 +117,37 @@ class DesignMetrics:
     area: float
     worst_slack: float
     clock_period: float
+
+
+@dataclass
+class StageTimings:
+    """Wall-clock seconds spent per stage of one :func:`isolate_design` run.
+
+    ``simulate_s`` covers the estimation runs (baseline, per-iteration
+    and final), ``score_s`` the analysis between them (partitioning,
+    activation derivation, timing, cost evaluation) and ``transform_s``
+    the netlist rewrites (``isolate_candidate``).
+    """
+
+    simulate_s: float = 0.0
+    score_s: float = 0.0
+    transform_s: float = 0.0
+    simulations: int = 0
+    engine: str = "python"
+
+    @property
+    def total_s(self) -> float:
+        return self.simulate_s + self.score_s + self.transform_s
+
+    def to_dict(self) -> dict:
+        return {
+            "simulate_s": self.simulate_s,
+            "score_s": self.score_s,
+            "transform_s": self.transform_s,
+            "total_s": self.total_s,
+            "simulations": self.simulations,
+            "engine": self.engine,
+        }
 
 
 @dataclass
@@ -128,6 +172,7 @@ class IsolationResult:
     final: DesignMetrics
     instances: List[IsolationInstance] = field(default_factory=list)
     iterations: List[IterationRecord] = field(default_factory=list)
+    timings: StageTimings = field(default_factory=StageTimings)
 
     @property
     def isolated_names(self) -> List[str]:
@@ -175,6 +220,7 @@ class IsolationResult:
                 "after": self.final.worst_slack,
                 "clock_period": self.baseline.clock_period,
             },
+            "timings": self.timings.to_dict(),
             "iterations": [
                 {
                     "index": record.index,
@@ -207,6 +253,10 @@ class IsolationResult:
             f"  slack  : {self.baseline.worst_slack:8.3f} -> {self.final.worst_slack:8.3f} ns "
             f"(clock {self.baseline.clock_period:.3f} ns)",
             f"  iterations: {len(self.iterations)}",
+            f"  stages : simulate {self.timings.simulate_s:.3f}s, "
+            f"score {self.timings.score_s:.3f}s, "
+            f"transform {self.timings.transform_s:.3f}s "
+            f"({self.timings.simulations} runs, engine {self.timings.engine!r})",
         ]
         return "\n".join(lines)
 
@@ -227,7 +277,7 @@ def _measure_power(
 ) -> float:
     monitor = ToggleMonitor()
     monitors = [monitor] + list(extra_monitors or [])
-    Simulator(design).run(
+    make_simulator(design, config.engine).run(
         _stimulus_of(source), config.cycles, monitors=monitors, warmup=config.warmup
     )
     breakdown = PowerEstimator(library).breakdown(design, monitor)
@@ -239,17 +289,55 @@ def isolate_design(
     stimulus: StimulusSource,
     config: Optional[IsolationConfig] = None,
     library: Optional[TechnologyLibrary] = None,
+    run: Optional[RunConfig] = None,
+    cycles: Optional[int] = None,
+    warmup: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> IsolationResult:
     """Run Algorithm 1 on ``design`` (which is left untouched).
 
     ``stimulus`` is either a stimulus object (deep-copied per estimation
     run so every run sees identical statistics) or a zero-argument
-    factory returning a fresh stimulus.
+    factory returning a fresh stimulus. Run control (``cycles``,
+    ``warmup``, ``engine``) lives on ``config``; ``run=RunConfig(...)``
+    and ``engine=`` override it, and bare ``cycles=``/``warmup=`` are
+    deprecated aliases.
     """
     config = config or IsolationConfig()
+    if run is not None or engine is not None or cycles is not None or warmup is not None:
+        cfg = resolve_run_config(
+            run,
+            defaults=RunConfig(
+                cycles=config.cycles, warmup=config.warmup, engine=config.engine
+            ),
+            engine=engine,
+            cycles=cycles,
+            warmup=warmup,
+        )
+        config = replace(
+            config, cycles=cfg.cycles, warmup=cfg.warmup, engine=cfg.engine
+        )
     library = library or default_library()
 
     working = design.copy(f"{design.name}_iso_{config.style}")
+
+    timings = StageTimings(engine=config.engine)
+
+    def timed_measure(*args, **kwargs):
+        start = time.perf_counter()
+        out = _measure_power(*args, **kwargs)
+        timings.simulate_s += time.perf_counter() - start
+        timings.simulations += 1
+        return out
+
+    def settle_score() -> None:
+        # Score time = iteration wall time minus what the simulate and
+        # transform stages already claimed.
+        timings.score_s += (
+            (time.perf_counter() - iteration_start)
+            - (timings.simulate_s - simulate_before)
+            - (timings.transform_s - transform_before)
+        )
 
     # --- Baseline metrics & timing constraint -------------------------
     reference_timing = analyze_timing(working, library, clock_period=None)
@@ -257,7 +345,7 @@ def isolate_design(
     if period is None:
         period = reference_timing.clock_period * config.period_margin
     baseline_timing = analyze_timing(working, library, clock_period=period)
-    baseline_power, _ = _measure_power(working, stimulus, config, library)
+    baseline_power, _ = timed_measure(working, stimulus, config, library)
     baseline = DesignMetrics(
         power_mw=baseline_power,
         area=library.total_area(working),
@@ -271,12 +359,16 @@ def isolate_design(
         config=config,
         baseline=baseline,
         final=baseline,  # replaced below
+        timings=timings,
     )
 
     rejected: Set[str] = set()
 
     # --- Main loop (Algorithm 1, lines 13–31) -------------------------
     for index in range(config.max_iterations):
+        iteration_start = time.perf_counter()
+        simulate_before = timings.simulate_s
+        transform_before = timings.transform_s
         blocks = partition_blocks(working)
         if config.lookahead_depth > 0:
             from repro.core.lookahead import derive_with_lookahead
@@ -326,11 +418,12 @@ def isolate_design(
                 record.rejected_slack.append(c.name)
         if not slack_ok:
             result.iterations.append(record)
+            settle_score()
             break
 
         # estimate_power + signal statistics (line 16): one simulation.
         savings_model = SavingsModel(working, candidates, library)
-        total_power, monitor = _measure_power(
+        total_power, monitor = timed_measure(
             working, stimulus, config, library, extra_monitors=[savings_model.probes]
         )
         savings_model.calibrate(monitor)
@@ -365,20 +458,23 @@ def isolate_design(
             record.scores.extend(scores)
             best = max(scores, key=lambda s: s.h)
             if best.h >= config.weights.h_min:
+                transform_start = time.perf_counter()
                 instance = isolate_candidate(
                     working, best.candidate.cell, best.candidate.activation,
                     style=best.savings.style,
                 )
+                timings.transform_s += time.perf_counter() - transform_start
                 result.instances.append(instance)
                 record.isolated.append(best.candidate.name)
                 performed = True
 
         result.iterations.append(record)
+        settle_score()
         if not performed:
             break
 
     # --- Final metrics -------------------------------------------------
-    final_power, _ = _measure_power(working, stimulus, config, library)
+    final_power, _ = timed_measure(working, stimulus, config, library)
     final_timing = analyze_timing(working, library, clock_period=period)
     result.final = DesignMetrics(
         power_mw=final_power,

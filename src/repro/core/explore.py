@@ -20,7 +20,8 @@ from repro.core.savings import SavingsModel
 from repro.netlist.design import Design
 from repro.power.estimator import PowerEstimator
 from repro.power.library import TechnologyLibrary, default_library
-from repro.sim.engine import Simulator
+from repro.runconfig import RunConfig, resolve_run_config
+from repro.sim.engine import Simulator, make_simulator
 from repro.sim.monitor import ToggleMonitor
 from repro.sim.stimulus import Stimulus
 from repro.timing.impact import estimate_isolation_impact
@@ -71,17 +72,27 @@ def rank_candidates(
     design: Design,
     stimulus: Stimulus,
     style: str = "and",
-    cycles: int = 2000,
+    cycles: Optional[int] = None,
     weights: Optional[CostWeights] = None,
     library: Optional[TechnologyLibrary] = None,
     clock_period: Optional[float] = None,
     lookahead_depth: int = 0,
+    run: Optional[RunConfig] = None,
+    engine: Optional[str] = None,
 ) -> List[RankedCandidate]:
     """Assess every candidate of ``design`` under ``stimulus``.
 
     Returns candidates sorted by descending ``h(c)``. The design is not
-    modified.
+    modified. Run control comes from ``run=RunConfig(...)`` (and the
+    first-class ``engine=`` override); bare ``cycles=`` still works as a
+    deprecated alias.
     """
+    cfg = resolve_run_config(
+        run,
+        defaults=RunConfig(cycles=2000, warmup=16),
+        engine=engine,
+        cycles=cycles,
+    )
     library = library or default_library()
     weights = weights or CostWeights()
 
@@ -95,8 +106,11 @@ def rank_candidates(
 
     savings_model = SavingsModel(design, candidates, library)
     monitor = ToggleMonitor()
-    Simulator(design).run(
-        stimulus, cycles, monitors=[monitor, savings_model.probes], warmup=16
+    make_simulator(design, cfg.engine).run(
+        stimulus,
+        cfg.cycles,
+        monitors=[monitor, savings_model.probes],
+        warmup=cfg.warmup,
     )
     savings_model.calibrate(monitor)
 

@@ -9,6 +9,7 @@ deltas the paper reports.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -20,6 +21,7 @@ from repro.core.algorithm import (
 )
 from repro.netlist.design import Design
 from repro.power.library import TechnologyLibrary, default_library
+from repro.runconfig import RunConfig, resolve_run_config
 
 #: Row order of the paper's tables.
 STYLE_ROWS = ("non-isolated", "AND-isolated", "OR-isolated", "LAT-isolated")
@@ -60,17 +62,39 @@ def compare_styles(
     config: Optional[IsolationConfig] = None,
     library: Optional[TechnologyLibrary] = None,
     styles: Optional[List[str]] = None,
+    run: Optional[RunConfig] = None,
+    cycles: Optional[int] = None,
+    warmup: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> StyleComparison:
-    """Run isolation once per style and tabulate paper-style rows."""
+    """Run isolation once per style and tabulate paper-style rows.
+
+    Run control (``cycles``, ``warmup``, ``engine``) lives on ``config``;
+    ``run=RunConfig(...)`` and ``engine=`` override it, and bare
+    ``cycles=``/``warmup=`` are deprecated aliases.
+    """
     base_config = config or IsolationConfig()
+    if run is not None or engine is not None or cycles is not None or warmup is not None:
+        cfg = resolve_run_config(
+            run,
+            defaults=RunConfig(
+                cycles=base_config.cycles,
+                warmup=base_config.warmup,
+                engine=base_config.engine,
+            ),
+            engine=engine,
+            cycles=cycles,
+            warmup=warmup,
+        )
+        base_config = dataclasses.replace(
+            base_config, cycles=cfg.cycles, warmup=cfg.warmup, engine=cfg.engine
+        )
     library = library or default_library()
     styles = styles or ["and", "or", "latch"]
 
     comparison = StyleComparison(design_name=design.name)
     baseline_row: Optional[StyleRow] = None
     for style in styles:
-        import dataclasses
-
         style_config = dataclasses.replace(base_config, style=style)
         result = isolate_design(design, stimulus, style_config, library)
         comparison.results[style] = result

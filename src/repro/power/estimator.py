@@ -20,7 +20,8 @@ from typing import Dict, Optional
 from repro.netlist.cells import Cell, PortDir
 from repro.netlist.design import Design
 from repro.power.library import TechnologyLibrary, default_library
-from repro.sim.engine import Simulator
+from repro.runconfig import RunConfig, resolve_run_config
+from repro.sim.engine import Simulator, make_simulator
 from repro.sim.monitor import ToggleMonitor
 from repro.sim.stimulus import Stimulus
 
@@ -171,18 +172,31 @@ class PowerEstimator:
 def estimate_power(
     design: Design,
     stimulus: Stimulus,
-    cycles: int,
+    cycles: Optional[int] = None,
     library: Optional[TechnologyLibrary] = None,
-    warmup: int = 16,
+    warmup: Optional[int] = None,
     extra_monitors: Optional[list] = None,
+    run: Optional[RunConfig] = None,
+    engine: Optional[str] = None,
 ) -> PowerBreakdown:
     """Simulate ``design`` and return its power breakdown.
 
-    ``extra_monitors`` ride along on the same simulation run (probes for
-    the savings model, traces for verification...), avoiding a second
-    pass over the stimulus.
+    Run control comes from ``run=RunConfig(...)`` (with ``engine=`` as a
+    first-class override); the historical ``cycles``/``warmup`` kwargs
+    still work as deprecated aliases. ``extra_monitors`` ride along on
+    the same simulation run (probes for the savings model, traces for
+    verification...), avoiding a second pass over the stimulus.
     """
+    cfg = resolve_run_config(
+        run,
+        defaults=RunConfig(cycles=2000, warmup=16),
+        engine=engine,
+        cycles=cycles,
+        warmup=warmup,
+    )
     monitor = ToggleMonitor()
     monitors = [monitor] + list(extra_monitors or [])
-    Simulator(design).run(stimulus, cycles, monitors=monitors, warmup=warmup)
+    make_simulator(design, cfg.engine).run(
+        stimulus, cfg.cycles, monitors=monitors, warmup=cfg.warmup
+    )
     return PowerEstimator(library).breakdown(design, monitor)

@@ -1,0 +1,103 @@
+"""Shared run-control configuration for every simulation-driven entry point.
+
+Historically each entry point grew its own run-control kwargs:
+``estimate_power(design, stimulus, cycles, warmup=16)``,
+``rank_candidates(..., cycles=2000)``, ``isolate_design`` via
+``IsolationConfig(cycles=, warmup=)`` and ``compare_styles`` via the same
+config object — with inconsistent names, positions and defaults.
+
+:class:`RunConfig` is the one object that carries those knobs now:
+
+* ``cycles`` / ``warmup`` — simulation length per estimation run;
+* ``seed`` — stimulus seed (used by the :mod:`repro.api` facade and the
+  CLI when they build the default random stimulus);
+* ``engine`` — ``"python"`` (the reference interpreter) or
+  ``"compiled"`` (the pre-bound kernel backend of
+  :mod:`repro.sim.compile`; bit-exact, much faster).
+
+Every entry point accepts ``run=RunConfig(...)``; the old per-call
+kwargs keep working as deprecated aliases that emit a
+:class:`DeprecationWarning` (see :func:`resolve_run_config`).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.errors import ReproError
+
+#: The available simulation backends.
+ENGINES = ("python", "compiled")
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Run-control knobs shared by all simulation-driven entry points.
+
+    Attributes
+    ----------
+    cycles:
+        Observed simulation cycles per estimation run.
+    warmup:
+        Cycles simulated before observation starts (flushes reset
+        transients out of the statistics).
+    seed:
+        Stimulus seed, used wherever the library builds the stimulus
+        itself (the :mod:`repro.api` facade, the CLI).
+    engine:
+        ``"python"`` or ``"compiled"`` — which simulation backend runs
+        the netlist. Both are bit-exact; ``"compiled"`` is faster.
+    """
+
+    cycles: int = 2000
+    warmup: int = 16
+    seed: int = 0
+    engine: str = "python"
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise ReproError(
+                f"unknown engine {self.engine!r}; choose one of {ENGINES}"
+            )
+        if self.cycles < 0:
+            raise ReproError(f"cycles must be >= 0, got {self.cycles}")
+        if self.warmup < 0:
+            raise ReproError(f"warmup must be >= 0, got {self.warmup}")
+
+    def replace(self, **overrides) -> "RunConfig":
+        """A copy with the given fields changed."""
+        return replace(self, **overrides)
+
+
+def resolve_run_config(
+    run: Optional[RunConfig] = None,
+    defaults: Optional[RunConfig] = None,
+    stacklevel: int = 3,
+    engine: Optional[str] = None,
+    **legacy,
+) -> RunConfig:
+    """Merge ``run=RunConfig`` with deprecated per-call kwargs.
+
+    ``legacy`` holds the old kwargs (``cycles=``, ``warmup=``,
+    ``seed=``); any that are not ``None`` emit a single
+    :class:`DeprecationWarning` and override the corresponding
+    :class:`RunConfig` field. ``engine`` is a first-class kwarg (not
+    deprecated) and likewise overrides the config when given.
+    """
+    resolved = run if run is not None else (defaults or RunConfig())
+    provided = {k: v for k, v in legacy.items() if v is not None}
+    if provided:
+        names = ", ".join(sorted(provided))
+        hint = ", ".join(f"{k}={v!r}" for k, v in sorted(provided.items()))
+        warnings.warn(
+            f"passing {names} directly is deprecated; "
+            f"pass run=RunConfig({hint}) instead",
+            DeprecationWarning,
+            stacklevel=stacklevel,
+        )
+        resolved = replace(resolved, **provided)
+    if engine is not None:
+        resolved = replace(resolved, engine=engine)
+    return resolved

@@ -13,7 +13,15 @@ the statistics the paper's models consume:
   (:class:`~repro.sim.monitor.ConditionalToggleMonitor`).
 """
 
-from repro.sim.engine import SimulationResult, Simulator, simulate
+from repro.sim.engine import SimulationResult, Simulator, make_simulator, simulate
+from repro.sim.compile import (
+    CompiledProgram,
+    CompiledSimulator,
+    ProgramCache,
+    compile_design,
+    design_structure_hash,
+    program_cache,
+)
 from repro.sim.stimulus import (
     CompositeStimulus,
     ControlStream,
@@ -39,6 +47,13 @@ __all__ = [
     "Simulator",
     "SimulationResult",
     "simulate",
+    "make_simulator",
+    "CompiledSimulator",
+    "CompiledProgram",
+    "ProgramCache",
+    "compile_design",
+    "design_structure_hash",
+    "program_cache",
     "Stimulus",
     "ControlStream",
     "DataStream",

@@ -158,12 +158,35 @@ class Simulator:
         return SimulationResult(cycles=cycles, monitors=monitors)
 
 
+def make_simulator(design: Design, engine: str = "python"):
+    """Build a simulator for ``design`` using the requested backend.
+
+    ``engine="python"`` returns the reference :class:`Simulator`;
+    ``engine="compiled"`` returns a bit-exact
+    :class:`~repro.sim.compile.CompiledSimulator` (programs come from
+    the global program cache, so repeated construction is cheap).
+    """
+    if engine == "python":
+        return Simulator(design)
+    if engine == "compiled":
+        # Imported lazily: repro.sim.compile imports this module.
+        from repro.sim.compile import CompiledSimulator
+
+        return CompiledSimulator(design)
+    from repro.runconfig import ENGINES
+
+    raise SimulationError(f"unknown engine {engine!r}; choose one of {ENGINES}")
+
+
 def simulate(
     design: Design,
     stimulus: Stimulus,
     cycles: int,
     monitors: Optional[Sequence[Monitor]] = None,
     warmup: int = 0,
+    engine: str = "python",
 ) -> SimulationResult:
-    """Convenience: build a fresh :class:`Simulator` and run it."""
-    return Simulator(design).run(stimulus, cycles, monitors=monitors, warmup=warmup)
+    """Convenience: build a fresh simulator and run it."""
+    return make_simulator(design, engine).run(
+        stimulus, cycles, monitors=monitors, warmup=warmup
+    )

@@ -1,0 +1,120 @@
+"""The structure-keyed compiled-program cache and incremental recompile."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.designs as designs
+from repro.core.candidates import find_candidates
+from repro.core.isolate import deisolate_candidate, isolate_candidate
+from repro.sim.compile import (
+    CompiledSimulator,
+    ProgramCache,
+    compile_design,
+    design_structure_hash,
+)
+
+
+@pytest.fixture
+def cache():
+    return ProgramCache()
+
+
+class TestStructureHash:
+    def test_stable_across_reconstruction(self):
+        assert design_structure_hash(designs.design1()) == design_structure_hash(
+            designs.design1()
+        )
+
+    def test_copy_hits_same_hash(self):
+        design = designs.design1()
+        assert design_structure_hash(design) == design_structure_hash(
+            design.copy("renamed")
+        )
+
+    def test_transform_changes_hash(self):
+        design = designs.design1()
+        before = design_structure_hash(design)
+        candidate = find_candidates(design)[0]
+        isolate_candidate(design, candidate.cell, candidate.activation, "and")
+        assert design_structure_hash(design) != before
+
+    def test_different_designs_differ(self):
+        assert design_structure_hash(designs.design1()) != design_structure_hash(
+            designs.design2()
+        )
+
+
+class TestProgramCache:
+    def test_hit_on_identical_structure(self, cache):
+        first = cache.get(designs.design1())
+        second = cache.get(designs.design1())
+        assert first is second
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_shared_across_design_copies(self, cache):
+        design = designs.design1()
+        program = cache.get(design)
+        copy = design.copy("other")
+        assert cache.get(copy) is program
+        # The program binds per-simulator, so both copies simulate fine.
+        CompiledSimulator(copy, program=program)
+
+    def test_incremental_recompile_after_isolate(self, cache):
+        design = designs.design1()
+        cache.get(design)
+        candidate = find_candidates(design)[0]
+        isolate_candidate(design, candidate.cell, candidate.activation, "and")
+        program = cache.get(design)
+        # Only the transformed block (and the commit unit, if touched)
+        # recompiles; untouched blocks keep their compiled functions.
+        assert program.blocks_reused > 0
+        assert program.blocks_compiled >= 1
+        assert cache.stats()["units_reused"] >= program.blocks_reused
+
+    def test_deisolate_is_a_cache_hit(self, cache):
+        design = designs.design1()
+        original_hash = design_structure_hash(design)
+        original_program = cache.get(design)
+        candidate = find_candidates(design)[0]
+        instance = isolate_candidate(
+            design, candidate.cell, candidate.activation, "and"
+        )
+        cache.get(design)
+        deisolate_candidate(design, instance)
+        assert design_structure_hash(design) == original_hash
+        hits_before = cache.hits
+        assert cache.get(design) is original_program
+        assert cache.hits == hits_before + 1
+
+    def test_lru_eviction(self):
+        small = ProgramCache(maxsize=2)
+        small.get(designs.design1())
+        small.get(designs.design2())
+        small.get(designs.paper_example())
+        assert len(small) == 2
+
+    def test_clear(self, cache):
+        cache.get(designs.design1())
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats()["misses"] == 0
+
+
+class TestIncrementalCompile:
+    def test_stable_net_indices_across_lineage(self):
+        design = designs.design1()
+        before = compile_design(design)
+        candidate = find_candidates(design)[0]
+        isolate_candidate(design, candidate.cell, candidate.activation, "and")
+        after = compile_design(design, previous=before)
+        surviving = set(before.net_index) & set(after.net_index)
+        assert surviving
+        for name in surviving:
+            assert before.net_index[name] == after.net_index[name]
+
+    def test_fresh_compile_reuses_nothing(self):
+        program = compile_design(designs.design1())
+        assert program.blocks_reused == 0
+        assert program.blocks_compiled >= 3  # drive + blocks + commit
