@@ -41,8 +41,10 @@ from repro.core.report import (
     compare_styles,
     format_comparison_table,
 )
+from repro.diagnostics import Diagnostic
 from repro.netlist import textio
 from repro.netlist.design import Design
+from repro.netlist.validate import validation_problems
 from repro.power.estimator import PowerBreakdown, estimate_power
 from repro.power.library import TechnologyLibrary, default_library
 from repro.runconfig import ENGINES, RunConfig
@@ -189,6 +191,16 @@ class Session:
         """Derived activation functions of every datapath module."""
         return derive_activation_functions(self.design)
 
+    def validate(self, allow_dangling: bool = False) -> List[Diagnostic]:
+        """Structural diagnostics of the design (empty list = healthy).
+
+        Returns the same :class:`~repro.diagnostics.Diagnostic` records
+        the ``repro validate`` CLI subcommand and the fault campaign
+        report; callers decide whether warnings matter to them
+        (``d.severity == "error"`` is the hard-failure subset).
+        """
+        return validation_problems(self.design, allow_dangling=allow_dangling)
+
     # ------------------------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -211,6 +223,7 @@ __all__ = [
     "Session",
     "load",
     "loads",
+    "Diagnostic",
     "RunConfig",
     "ENGINES",
     "IsolationConfig",

@@ -31,7 +31,7 @@ from repro.boolean.expr import (
 )
 from repro.boolean.simplify import simplify
 from repro.boolean.bdd import BddManager
-from repro.boolean.probability import signal_probability
+from repro.boolean.probability import probability_bounds, signal_probability
 from repro.boolean.synth import synthesize_expression
 
 __all__ = [
@@ -50,5 +50,6 @@ __all__ = [
     "simplify",
     "BddManager",
     "signal_probability",
+    "probability_bounds",
     "synthesize_expression",
 ]

@@ -11,25 +11,46 @@ Used for two things the expression layer cannot do reliably:
 Nodes are integers indexing into the manager's node table; 0 and 1 are
 the terminals. The variable order is the order of first use, extendable
 with :meth:`BddManager.declare`.
+
+BDD size is worst-case exponential in the variable count, so a manager
+accepts an optional **node-count budget** (``max_nodes``): once the node
+table would grow past it, every further node creation raises
+:class:`~repro.errors.BudgetExceededError` instead of consuming
+unbounded memory/time. Callers that can tolerate approximation fall
+back to factored-form probability bounds
+(:func:`repro.boolean.probability.probability_bounds`).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.boolean.expr import And, Const, Expr, Not, Or, Var
-from repro.errors import BooleanError
+from repro.errors import BooleanError, BudgetExceededError
 
 _Node = int
 
 
 class BddManager:
-    """Owns the node table, unique table and operation caches."""
+    """Owns the node table, unique table and operation caches.
+
+    Parameters
+    ----------
+    max_nodes:
+        Optional budget on the total node-table size (terminals
+        included). ``None`` (default) means unbounded, matching the
+        historical behaviour.
+    """
 
     FALSE: _Node = 0
     TRUE: _Node = 1
 
-    def __init__(self) -> None:
+    def __init__(self, max_nodes: Optional[int] = None) -> None:
+        if max_nodes is not None and max_nodes < 2:
+            raise BooleanError(
+                f"max_nodes must allow at least the two terminals, got {max_nodes}"
+            )
+        self.max_nodes = max_nodes
         # Node table: index -> (level, low, high). Terminals get a level
         # beyond every variable.
         self._nodes: List[Tuple[int, _Node, _Node]] = [
@@ -68,6 +89,14 @@ class BddManager:
         key = (level, low, high)
         node = self._unique.get(key)
         if node is None:
+            if self.max_nodes is not None and len(self._nodes) >= self.max_nodes:
+                raise BudgetExceededError(
+                    f"BDD node budget exhausted: {len(self._nodes)} nodes "
+                    f"(budget {self.max_nodes}); use a larger budget or an "
+                    f"approximate fallback",
+                    budget=self.max_nodes,
+                    used=len(self._nodes),
+                )
             node = len(self._nodes)
             self._nodes.append(key)
             self._unique[key] = node

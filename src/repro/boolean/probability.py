@@ -6,6 +6,13 @@ probabilities — computed on a BDD, so reconvergent fanout inside the
 expression (the same variable appearing several times) is handled
 exactly.
 
+Exact BDD evaluation is worst-case exponential in the variable count, so
+a node budget (``max_nodes``) may be supplied: when the BDD blows past
+it, :func:`signal_probability` degrades gracefully to the midpoint of
+:func:`probability_bounds`, a linear-time Fréchet-style interval
+propagation over the factored expression that is guaranteed to bracket
+the exact probability.
+
 This is the *analytical* fallback; the paper measures probabilities such
 as ``Pr(AS_i · AS_j · g)`` during simulation precisely because control
 signals are usually *not* independent. The simulation-measured
@@ -14,18 +21,72 @@ counterpart lives in :mod:`repro.sim.probes`.
 
 from __future__ import annotations
 
-from typing import Mapping, Optional
+import warnings
+from typing import Mapping, Optional, Tuple
 
 from repro.boolean.bdd import BddManager
-from repro.boolean.expr import Expr
+from repro.boolean.expr import And, Const, Expr, Not, Or, Var
+from repro.boolean.factored import factor
+from repro.errors import BooleanError, BudgetExceededError
+
+
+def probability_bounds(
+    expr: Expr,
+    probs: Optional[Mapping[str, float]] = None,
+) -> Tuple[float, float]:
+    """Guaranteed ``(low, high)`` bounds on Pr[expr = 1].
+
+    Uses Fréchet inequalities propagated bottom-up over the factored
+    expression, which costs linear time in the expression size instead
+    of the worst-case exponential BDD build:
+
+    * ``And(a₁..aₙ)`` → ``[max(0, Σpᵢ − (n−1)), min pᵢ]``
+    * ``Or(a₁..aₙ)``  → ``[max pᵢ, min(1, Σpᵢ)]``
+    * ``Not(a)``      → ``[1 − high, 1 − low]``
+
+    The bounds hold for *any* dependence structure between subterms, so
+    in particular for the independent-variable model used by
+    :func:`signal_probability`; they are loose where the same variable
+    reconverges. Factoring first (:func:`repro.boolean.factored.factor`)
+    shares common literals and tightens the interval. Variables missing
+    from ``probs`` default to 0.5.
+    """
+    probs = probs or {}
+
+    def walk(node: Expr) -> Tuple[float, float]:
+        if isinstance(node, Const):
+            p = 1.0 if node.value else 0.0
+            return (p, p)
+        if isinstance(node, Var):
+            p = probs.get(node.name, 0.5)
+            return (p, p)
+        if isinstance(node, Not):
+            low, high = walk(node.child)
+            return (1.0 - high, 1.0 - low)
+        if isinstance(node, And):
+            bounds = [walk(arg) for arg in node.args]
+            low = max(0.0, sum(b[0] for b in bounds) - (len(bounds) - 1))
+            high = min(b[1] for b in bounds)
+            return (low, max(low, high))
+        if isinstance(node, Or):
+            bounds = [walk(arg) for arg in node.args]
+            low = max(b[0] for b in bounds)
+            high = min(1.0, sum(b[1] for b in bounds))
+            return (min(low, high), high)
+        raise BooleanError(
+            f"cannot bound probability of {type(node).__name__} node"
+        )
+
+    return walk(factor(expr))
 
 
 def signal_probability(
     expr: Expr,
     probs: Optional[Mapping[str, float]] = None,
     manager: Optional[BddManager] = None,
+    max_nodes: Optional[int] = None,
 ) -> float:
-    """Exact Pr[expr = 1] under variable independence.
+    """Pr[expr = 1] under variable independence.
 
     Parameters
     ----------
@@ -34,6 +95,25 @@ def signal_probability(
     manager:
         Reuse an existing :class:`BddManager` (helpful when evaluating
         many expressions over the same control signals).
+    max_nodes:
+        Optional BDD node budget. When the exact computation exceeds it
+        (raising :class:`~repro.errors.BudgetExceededError` internally),
+        the result degrades to the midpoint of
+        :func:`probability_bounds` and a :class:`RuntimeWarning` is
+        emitted. Without a budget the computation is exact but may be
+        exponential in the variable count.
     """
-    manager = manager or BddManager()
-    return manager.expr_probability(expr, probs or {})
+    if manager is None:
+        manager = BddManager(max_nodes=max_nodes)
+    try:
+        return manager.expr_probability(expr, probs or {})
+    except BudgetExceededError as exc:
+        low, high = probability_bounds(expr, probs)
+        warnings.warn(
+            f"signal_probability fell back to interval bounds "
+            f"[{low:.4f}, {high:.4f}] after the BDD budget was exceeded "
+            f"({exc.used}/{exc.budget} nodes)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return (low + high) / 2.0

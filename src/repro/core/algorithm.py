@@ -86,8 +86,10 @@ class IsolationConfig:
         no candidate clears ``h_min``.
     engine:
         Simulation backend for every estimation run: ``"python"`` (the
-        reference interpreter) or ``"compiled"`` (the pre-bound kernel
-        backend of :mod:`repro.sim.compile`; bit-exact, much faster).
+        reference interpreter), ``"compiled"`` (the pre-bound kernel
+        backend of :mod:`repro.sim.compile`; bit-exact, much faster) or
+        ``"checked"`` (compiled + reference in lockstep with periodic
+        cross-comparison; raises on any divergence).
     """
 
     style: str = "and"
@@ -127,6 +129,11 @@ class StageTimings:
     and final), ``score_s`` the analysis between them (partitioning,
     activation derivation, timing, cost evaluation) and ``transform_s``
     the netlist rewrites (``isolate_candidate``).
+
+    ``fallback_reason`` is set when a requested compiled backend could
+    not be built and the run gracefully degraded to the python
+    reference engine (see :func:`repro.sim.engine.make_simulator`);
+    ``engine`` then still names what was *requested*.
     """
 
     simulate_s: float = 0.0
@@ -134,13 +141,14 @@ class StageTimings:
     transform_s: float = 0.0
     simulations: int = 0
     engine: str = "python"
+    fallback_reason: Optional[str] = None
 
     @property
     def total_s(self) -> float:
         return self.simulate_s + self.score_s + self.transform_s
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "simulate_s": self.simulate_s,
             "score_s": self.score_s,
             "transform_s": self.transform_s,
@@ -148,6 +156,9 @@ class StageTimings:
             "simulations": self.simulations,
             "engine": self.engine,
         }
+        if self.fallback_reason is not None:
+            payload["fallback_reason"] = self.fallback_reason
+        return payload
 
 
 @dataclass
@@ -258,6 +269,11 @@ class IsolationResult:
             f"transform {self.timings.transform_s:.3f}s "
             f"({self.timings.simulations} runs, engine {self.timings.engine!r})",
         ]
+        if self.timings.fallback_reason:
+            lines.append(
+                f"  note   : engine degraded to 'python' "
+                f"({self.timings.fallback_reason})"
+            )
         return "\n".join(lines)
 
 
@@ -274,10 +290,14 @@ def _measure_power(
     config: IsolationConfig,
     library: TechnologyLibrary,
     extra_monitors: Optional[list] = None,
+    timings: Optional[StageTimings] = None,
 ) -> float:
     monitor = ToggleMonitor()
     monitors = [monitor] + list(extra_monitors or [])
-    make_simulator(design, config.engine).run(
+    simulator = make_simulator(design, config.engine)
+    if timings is not None and simulator.fallback_reason is not None:
+        timings.fallback_reason = simulator.fallback_reason
+    simulator.run(
         _stimulus_of(source), config.cycles, monitors=monitors, warmup=config.warmup
     )
     breakdown = PowerEstimator(library).breakdown(design, monitor)
@@ -325,7 +345,7 @@ def isolate_design(
 
     def timed_measure(*args, **kwargs):
         start = time.perf_counter()
-        out = _measure_power(*args, **kwargs)
+        out = _measure_power(*args, timings=timings, **kwargs)
         timings.simulate_s += time.perf_counter() - start
         timings.simulations += 1
         return out

@@ -1,0 +1,110 @@
+"""Structured diagnostics: one typed record per detected problem.
+
+Every subsystem that reports problems — structural validation
+(:mod:`repro.netlist.validate`), the fault-injection campaign
+(:mod:`repro.verify.faults`), the :class:`repro.api.Session` facade and
+the ``repro validate`` CLI subcommand — speaks :class:`Diagnostic`, so
+one problem renders the same way everywhere: a stable machine-readable
+``code``, a ``severity``, the cell/net it anchors to and a
+human-readable message.
+
+For backward compatibility a :class:`Diagnostic` still *reads* like the
+plain strings ``validation_problems`` used to return: ``str(diag)`` is
+the legacy message and ``"substring" in diag`` tests against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+#: Diagnostic severities, most severe first.
+SEVERITIES = ("error", "warning")
+
+#: The diagnostic codes emitted by ``validation_problems`` plus the
+#: fault campaign's ``silent-fault``.
+CODES = (
+    "unconnected-port",
+    "width-mismatch",
+    "no-driver",
+    "no-readers",
+    "comb-loop",
+    "silent-fault",
+)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One structural or behavioural problem, typed and located.
+
+    Attributes
+    ----------
+    code:
+        Stable machine-readable identifier (kebab-case), e.g.
+        ``"unconnected-port"`` or ``"comb-loop"``.
+    message:
+        Human-readable description (the legacy string form).
+    severity:
+        ``"error"`` — the design cannot be trusted to simulate
+        correctly — or ``"warning"`` — suspicious but survivable
+        (e.g. a net nobody reads).
+    cell / net:
+        Names of the cell and/or net the problem anchors to, when the
+        problem has a location.
+    """
+
+    code: str
+    message: str
+    severity: str = "error"
+    cell: Optional[str] = None
+    net: Optional[str] = None
+
+    def __str__(self) -> str:
+        return self.message
+
+    def __contains__(self, item: str) -> bool:
+        # Legacy compatibility: callers used to substring-match the plain
+        # problem strings; keep `"..." in diagnostic` working.
+        return item in self.message
+
+    @property
+    def location(self) -> str:
+        """``cell`` / ``net`` rendered as one anchor string."""
+        parts = []
+        if self.cell:
+            parts.append(f"cell {self.cell}")
+        if self.net:
+            parts.append(f"net {self.net}")
+        return ", ".join(parts) or "design"
+
+    def format(self) -> str:
+        """One-line rendering with severity, code and location."""
+        return f"[{self.severity}] {self.code} ({self.location}): {self.message}"
+
+    def to_dict(self) -> Dict[str, Optional[str]]:
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "cell": self.cell,
+            "net": self.net,
+            "message": self.message,
+        }
+
+
+def worst_severity(diagnostics: Iterable[Diagnostic]) -> Optional[str]:
+    """Most severe severity present, or None for an empty iterable."""
+    present = {d.severity for d in diagnostics}
+    for severity in SEVERITIES:
+        if severity in present:
+            return severity
+    return None
+
+
+def errors_only(diagnostics: Iterable[Diagnostic]) -> List[Diagnostic]:
+    """The subset with ``severity == "error"``."""
+    return [d for d in diagnostics if d.severity == "error"]
+
+
+def format_diagnostics(diagnostics: Iterable[Diagnostic]) -> str:
+    """Multi-line rendering, one :meth:`Diagnostic.format` line each."""
+    return "\n".join(d.format() for d in diagnostics)

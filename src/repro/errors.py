@@ -28,12 +28,39 @@ class SimulationError(ReproError):
     """The simulator was asked to do something impossible."""
 
 
+class CompilationError(SimulationError):
+    """Lowering a design to the compiled backend failed.
+
+    Carries the name of the compiled unit that failed so callers (and the
+    ``engine="compiled"`` graceful-degradation path) can report exactly
+    which block could not be lowered.
+    """
+
+    def __init__(self, message: str, unit: str = "") -> None:
+        super().__init__(message)
+        self.unit = unit
+
+
 class StimulusError(SimulationError):
     """A stimulus generator was configured inconsistently."""
 
 
 class BooleanError(ReproError):
     """Malformed Boolean expression or BDD operation."""
+
+
+class BudgetExceededError(BooleanError):
+    """A resource budget (e.g. the BDD node-count budget) was exhausted.
+
+    Raised instead of letting an operation grow without bound; callers
+    either widen the budget or fall back to a cheaper approximation
+    (see :func:`repro.boolean.probability.probability_bounds`).
+    """
+
+    def __init__(self, message: str, budget: int = 0, used: int = 0) -> None:
+        super().__init__(message)
+        self.budget = budget
+        self.used = used
 
 
 class TimingError(ReproError):
@@ -50,3 +77,11 @@ class IsolationError(ReproError):
 
 class EquivalenceError(ReproError):
     """Two designs that should be observably equivalent are not."""
+
+
+class FaultInjectionError(ReproError):
+    """A fault could not be injected at the requested site.
+
+    Raised by :mod:`repro.verify.faults` when a fault spec names a site
+    that does not exist or cannot host that fault kind (e.g. a stuck-at
+    on a net with no readers)."""

@@ -96,6 +96,28 @@ class Design:
         cell.bind(port, new_net)
         return old_net
 
+    def disconnect(self, cell: Cell, port: str) -> Net:
+        """Detach ``cell.port`` from its net; returns the detached net.
+
+        The inverse of :meth:`connect` for one pin: an output pin leaves
+        its net driverless, an input pin stops reading. Used by netlist
+        surgery (and by the fault injector, which models exactly this
+        kind of structural damage).
+        """
+        if self._cells.get(cell.name) is not cell:
+            raise NetlistError(f"cell {cell.name!r} is not part of design {self.name!r}")
+        net = cell.net(port)  # raises NetlistError if unconnected
+        if cell.port_spec(port).direction is PortDir.OUT:
+            net.driver = None
+        else:
+            net.readers[:] = [
+                pin
+                for pin in net.readers
+                if not (pin.cell is cell and pin.port == port)
+            ]
+        del cell._conn[port]
+        return net
+
     def remove_cell(self, cell: Cell) -> None:
         """Unregister ``cell``, detaching all its pins.
 

@@ -233,11 +233,21 @@ def _require(design: Design, lineno: int) -> None:
 
 def save(design: Design, path: str) -> None:
     """Write ``design`` to ``path`` in the textual format."""
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(dumps(design))
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(dumps(design))
+    except OSError as exc:
+        raise NetlistError(f"cannot write netlist {path!r}: {exc}") from exc
 
 
 def load(path: str) -> Design:
-    """Read a design from ``path``."""
-    with open(path, "r", encoding="utf-8") as handle:
-        return loads(handle.read())
+    """Read a design from ``path``.
+
+    I/O and decoding failures surface as :class:`NetlistError` so callers
+    (notably the CLI) handle every load failure through one typed error.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return loads(handle.read())
+    except (OSError, UnicodeDecodeError) as exc:
+        raise NetlistError(f"cannot read netlist {path!r}: {exc}") from exc

@@ -8,41 +8,81 @@ Checks performed by :func:`validate_design`:
 * the combinational subgraph is acyclic (via topological sort);
 * gate/mux/module width constraints hold (enforced again here in case a
   design was assembled without the builder).
+
+Problems are reported as :class:`~repro.diagnostics.Diagnostic` records
+(stable ``code``, ``severity``, cell/net location, message) so the API
+facade, the fault-injection campaign and the CLI all render them
+uniformly. ``str(diagnostic)`` is the legacy message string.
+
+Severities: every structural problem is an ``"error"`` except
+``no-readers`` (a net nobody reads), which is a ``"warning"`` — it
+cannot corrupt simulation results, only waste area. ``validate_design``
+still raises on warnings too (unless ``allow_dangling``), preserving the
+historical strictness.
 """
 
 from __future__ import annotations
 
 from typing import List
 
+from repro.diagnostics import Diagnostic
 from repro.errors import ValidationError
 from repro.netlist.design import Design
 from repro.netlist.traversal import combinational_order
 
 
-def validation_problems(design: Design, allow_dangling: bool = False) -> List[str]:
-    """Collect human-readable descriptions of every structural problem."""
-    problems: List[str] = []
+def validation_problems(
+    design: Design, allow_dangling: bool = False
+) -> List[Diagnostic]:
+    """Collect a :class:`Diagnostic` for every structural problem."""
+    problems: List[Diagnostic] = []
     for cell in design.cells:
         for spec in cell.port_specs():
             if not cell.is_connected(spec.name):
-                problems.append(f"{cell.name}.{spec.name} is unconnected")
+                problems.append(
+                    Diagnostic(
+                        code="unconnected-port",
+                        message=f"{cell.name}.{spec.name} is unconnected",
+                        cell=cell.name,
+                    )
+                )
                 continue
             net = cell.net(spec.name)
             required = cell.port_width(spec.name)
             if required is not None and net.width != required:
                 problems.append(
-                    f"{cell.name}.{spec.name}: net {net.name!r} width "
-                    f"{net.width} != required {required}"
+                    Diagnostic(
+                        code="width-mismatch",
+                        message=(
+                            f"{cell.name}.{spec.name}: net {net.name!r} width "
+                            f"{net.width} != required {required}"
+                        ),
+                        cell=cell.name,
+                        net=net.name,
+                    )
                 )
     for net in design.nets:
         if net.driver is None:
-            problems.append(f"net {net.name!r} has no driver")
+            problems.append(
+                Diagnostic(
+                    code="no-driver",
+                    message=f"net {net.name!r} has no driver",
+                    net=net.name,
+                )
+            )
         if not net.readers and not allow_dangling:
-            problems.append(f"net {net.name!r} has no readers")
+            problems.append(
+                Diagnostic(
+                    code="no-readers",
+                    message=f"net {net.name!r} has no readers",
+                    severity="warning",
+                    net=net.name,
+                )
+            )
     try:
         combinational_order(design)
     except ValidationError as exc:
-        problems.append(str(exc))
+        problems.append(Diagnostic(code="comb-loop", message=str(exc)))
     return problems
 
 
@@ -50,7 +90,7 @@ def validate_design(design: Design, allow_dangling: bool = False) -> None:
     """Raise :class:`ValidationError` describing all problems, if any."""
     problems = validation_problems(design, allow_dangling=allow_dangling)
     if problems:
-        listing = "\n  - ".join(problems[:25])
+        listing = "\n  - ".join(str(p) for p in problems[:25])
         more = f"\n  ... and {len(problems) - 25} more" if len(problems) > 25 else ""
         raise ValidationError(
             f"design {design.name!r} failed validation:\n  - {listing}{more}"

@@ -11,9 +11,11 @@ config object — with inconsistent names, positions and defaults.
 * ``cycles`` / ``warmup`` — simulation length per estimation run;
 * ``seed`` — stimulus seed (used by the :mod:`repro.api` facade and the
   CLI when they build the default random stimulus);
-* ``engine`` — ``"python"`` (the reference interpreter) or
-  ``"compiled"`` (the pre-bound kernel backend of
-  :mod:`repro.sim.compile`; bit-exact, much faster).
+* ``engine`` — ``"python"`` (the reference interpreter), ``"compiled"``
+  (the pre-bound kernel backend of :mod:`repro.sim.compile`; bit-exact,
+  much faster) or ``"checked"`` (compiled and reference engines run in
+  lockstep with periodic cross-comparison; see
+  :mod:`repro.sim.checked`).
 
 Every entry point accepts ``run=RunConfig(...)``; the old per-call
 kwargs keep working as deprecated aliases that emit a
@@ -29,7 +31,7 @@ from typing import Optional
 from repro.errors import ReproError
 
 #: The available simulation backends.
-ENGINES = ("python", "compiled")
+ENGINES = ("python", "compiled", "checked")
 
 
 @dataclass(frozen=True)
@@ -47,8 +49,12 @@ class RunConfig:
         Stimulus seed, used wherever the library builds the stimulus
         itself (the :mod:`repro.api` facade, the CLI).
     engine:
-        ``"python"`` or ``"compiled"`` — which simulation backend runs
-        the netlist. Both are bit-exact; ``"compiled"`` is faster.
+        ``"python"``, ``"compiled"`` or ``"checked"`` — which simulation
+        backend runs the netlist. ``"compiled"`` is bit-exact with the
+        python reference and much faster; ``"checked"`` runs both in
+        lockstep and raises :class:`~repro.errors.EquivalenceError` if
+        they ever disagree (differential self-checking at roughly the
+        combined cost of the two engines).
     """
 
     cycles: int = 2000

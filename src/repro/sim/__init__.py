@@ -14,6 +14,7 @@ the statistics the paper's models consume:
 """
 
 from repro.sim.engine import SimulationResult, Simulator, make_simulator, simulate
+from repro.sim.checked import CheckedSimulator, EngineDivergence
 from repro.sim.compile import (
     CompiledProgram,
     CompiledSimulator,
@@ -34,6 +35,7 @@ from repro.sim.monitor import ConditionalToggleMonitor, Monitor, ToggleMonitor
 from repro.sim.probes import ExpressionProbe, ProbeSet
 from repro.sim.trace import NetTrace
 from repro.sim.batch import (
+    BatchCheckpoint,
     BatchControlStream,
     BatchDataStream,
     BatchProbe,
@@ -48,6 +50,8 @@ __all__ = [
     "SimulationResult",
     "simulate",
     "make_simulator",
+    "CheckedSimulator",
+    "EngineDivergence",
     "CompiledSimulator",
     "CompiledProgram",
     "ProgramCache",
@@ -67,6 +71,7 @@ __all__ = [
     "ProbeSet",
     "NetTrace",
     "BatchSimulator",
+    "BatchCheckpoint",
     "BatchToggleMonitor",
     "BatchProbe",
     "BatchRandomStimulus",

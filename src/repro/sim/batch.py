@@ -25,7 +25,9 @@ Typical use::
 
 from __future__ import annotations
 
+import copy
 import math
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -317,6 +319,24 @@ def _mask(net: Net) -> np.uint64:
     return np.uint64(net.mask)
 
 
+@dataclass
+class BatchCheckpoint:
+    """Snapshot of a :class:`BatchSimulator` run, taken between chunks.
+
+    Holds copies of every net value and register/latch state plus deep
+    copies of the monitors (with net/cell identity preserved, so the
+    copies keep observing the original design). ``step_index`` counts
+    completed steps of the enclosing :meth:`BatchSimulator.run` loop
+    (warmup included), which is where a resume continues.
+    """
+
+    cycle: int
+    step_index: int
+    values: Dict[Net, np.ndarray]
+    state: Dict[Cell, np.ndarray]
+    monitors: List[BatchMonitor] = field(default_factory=list)
+
+
 class BatchSimulator:
     """N-replication vectorized counterpart of :class:`~repro.sim.engine.Simulator`.
 
@@ -330,11 +350,11 @@ class BatchSimulator:
     def __init__(
         self, design: Design, batch_size: int = 32, engine: str = "python"
     ) -> None:
-        from repro.runconfig import ENGINES
-
-        if engine not in ENGINES:
+        # The lockstep "checked" mode exists only for the scalar engines;
+        # reject it here rather than silently running unchecked.
+        if engine not in ("python", "compiled"):
             raise SimulationError(
-                f"unknown engine {engine!r}; choose one of {ENGINES}"
+                f"batch engine supports 'python' or 'compiled', got {engine!r}"
             )
         for net in design.nets:
             if net.width > _MAX_WIDTH:
@@ -423,18 +443,85 @@ class BatchSimulator:
         cycles: int,
         monitors: Optional[Sequence[BatchMonitor]] = None,
         warmup: int = 0,
-    ) -> None:
-        monitors = list(monitors or [])
-        for monitor in monitors:
-            monitor.begin(self.design, self.batch_size)
-        for i in range(warmup + cycles):
+        checkpoint_every: Optional[int] = None,
+        resume_from: Optional[BatchCheckpoint] = None,
+    ) -> List[BatchMonitor]:
+        """Simulate ``warmup + cycles`` steps; returns the live monitors.
+
+        With ``checkpoint_every=k`` a :class:`BatchCheckpoint` is stored
+        in :attr:`last_checkpoint` every ``k`` committed steps, so a run
+        killed mid-way (machine fault, budget exhaustion) loses at most
+        ``k`` steps. Pass that checkpoint back as ``resume_from`` to
+        continue: net values, sequential state and monitor accumulators
+        are restored exactly, and the returned monitor list (the
+        checkpointed copies — not the originals passed by the caller)
+        carries the combined statistics. The stimulus itself is *not*
+        checkpointed: a fresh stimulus replays the remaining cycles
+        statistically, not bit-exactly.
+        """
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise SimulationError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        if resume_from is not None:
+            self.restore(resume_from)
+            monitors = self._copy_monitors(resume_from.monitors)
+            start = resume_from.step_index
+        else:
+            monitors = list(monitors or [])
+            for monitor in monitors:
+                monitor.begin(self.design, self.batch_size)
+            start = 0
+        for i in range(start, warmup + cycles):
             settled = self.step(stimulus.values(self.cycle))
             if i >= warmup:
                 for monitor in monitors:
                     monitor.observe(self.cycle, settled)
             self.commit()
+            if checkpoint_every is not None and (i + 1) % checkpoint_every == 0:
+                self.last_checkpoint = self.checkpoint(i + 1, monitors)
         for monitor in monitors:
             monitor.finish()
+        return monitors
+
+    # ------------------------------------------------------------------
+    # Checkpoint / resume
+    # ------------------------------------------------------------------
+    last_checkpoint: Optional[BatchCheckpoint] = None
+
+    def checkpoint(
+        self, step_index: int = 0, monitors: Sequence[BatchMonitor] = ()
+    ) -> BatchCheckpoint:
+        """Snapshot the current values/state and deep-copy the monitors.
+
+        Nets and cells are shared (identity-preserved) between the
+        snapshot and the live design, so restored monitors keep
+        observing the same objects; only the numpy accumulators are
+        duplicated.
+        """
+        return BatchCheckpoint(
+            cycle=self.cycle,
+            step_index=step_index,
+            values={net: arr.copy() for net, arr in self.values.items()},
+            state={cell: arr.copy() for cell, arr in self.state.items()},
+            monitors=self._copy_monitors(monitors),
+        )
+
+    def _copy_monitors(
+        self, monitors: Sequence[BatchMonitor]
+    ) -> List[BatchMonitor]:
+        # Deep-copy accumulators while sharing nets/cells by identity,
+        # so copied monitors keep observing the live design.
+        memo = {
+            id(obj): obj for obj in (*self.design.nets, *self.design.cells)
+        }
+        return copy.deepcopy(list(monitors), memo)
+
+    def restore(self, checkpoint: BatchCheckpoint) -> None:
+        """Reset the simulator to a previously taken checkpoint."""
+        self.cycle = checkpoint.cycle
+        self.values = {net: arr.copy() for net, arr in checkpoint.values.items()}
+        self.state = {cell: arr.copy() for cell, arr in checkpoint.state.items()}
 
     # ------------------------------------------------------------------
     def _evaluate(self, cell: Cell) -> None:

@@ -45,7 +45,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import SimulationError
+from repro.errors import CompilationError, ReproError, SimulationError
 from repro.netlist.arith import (
     Adder,
     Comparator,
@@ -303,7 +303,14 @@ class _Emitter:
 
 
 def _compile_unit(name: str, key: str, body: List[str], emitter: _Emitter) -> CompiledUnit:
-    """Assemble, ``exec`` and wrap one generated function."""
+    """Assemble, ``exec`` and wrap one generated function.
+
+    Any failure of the generated source — a syntax error from a bad
+    emitter template, an exec-time error — surfaces as a typed
+    :class:`~repro.errors.CompilationError` naming the unit, so
+    ``engine="compiled"`` can degrade to the reference engine instead of
+    leaking an opaque exception.
+    """
     lines = [f"def {name}(v, st, ctx):"]
     if body:
         lines.extend("    " + line for line in body)
@@ -311,7 +318,12 @@ def _compile_unit(name: str, key: str, body: List[str], emitter: _Emitter) -> Co
         lines.append("    pass")
     source = "\n".join(lines)
     namespace: Dict[str, object] = {}
-    exec(compile(source, f"<repro.sim.compile:{name}>", "exec"), namespace)
+    try:
+        exec(compile(source, f"<repro.sim.compile:{name}>", "exec"), namespace)
+    except Exception as exc:
+        raise CompilationError(
+            f"generated code for unit {name!r} does not compile: {exc}", unit=name
+        ) from exc
     return CompiledUnit(
         key=key,
         source=source,
@@ -535,7 +547,13 @@ def compile_design(
         )
         source = "\n".join(lines)
         namespace: Dict[str, object] = {}
-        exec(compile(source, "<repro.sim.compile:_drive>", "exec"), namespace)
+        try:
+            exec(compile(source, "<repro.sim.compile:_drive>", "exec"), namespace)
+        except Exception as exc:
+            raise CompilationError(
+                f"generated code for unit '_drive' does not compile: {exc}",
+                unit="_drive",
+            ) from exc
         unit = CompiledUnit(
             key=drive_key,
             source=source,
@@ -641,7 +659,19 @@ class ProgramCache:
                 return program
             self.misses += 1
             previous = self._lineage.get(design.name)
-        program = compile_design(design, previous=previous)
+        try:
+            program = compile_design(design, previous=previous)
+        except ReproError:
+            # Typed errors (validation failures, explicit compilation
+            # errors) pass through untouched.
+            raise
+        except Exception as exc:
+            # Anything else is a lowering bug; surface it as a typed
+            # CompilationError so engine="compiled" can degrade cleanly.
+            raise CompilationError(
+                f"lowering design {design.name!r} failed: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
         with self._lock:
             self.units_compiled += program.blocks_compiled
             self.units_reused += program.blocks_reused
@@ -716,6 +746,10 @@ class CompiledSimulator:
     repeated construction over the same (or structurally identical)
     design pays compilation once.
     """
+
+    #: Mirrors Simulator.fallback_reason for interface uniformity; a
+    #: successfully constructed compiled simulator never degraded.
+    fallback_reason = None
 
     def __init__(
         self,

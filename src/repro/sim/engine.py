@@ -17,10 +17,11 @@ matches the zero-delay RT-level power estimation the paper relies on.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
-from repro.errors import SimulationError
+from repro.errors import CompilationError, SimulationError
 from repro.netlist.cells import Cell
 from repro.netlist.design import Design
 from repro.netlist.nets import Net
@@ -48,6 +49,10 @@ class SimulationResult:
 
 class Simulator:
     """Simulates one :class:`Design`; reusable across runs via :meth:`reset`."""
+
+    #: Set by :func:`make_simulator` when this instance stands in for a
+    #: requested backend that could not be built (graceful degradation).
+    fallback_reason: Optional[str] = None
 
     def __init__(self, design: Design) -> None:
         self.design = design
@@ -158,13 +163,39 @@ class Simulator:
         return SimulationResult(cycles=cycles, monitors=monitors)
 
 
+def _degraded(design: Design, engine: str, exc: CompilationError) -> Simulator:
+    """Reference simulator standing in for an unbuildable backend."""
+    warnings.warn(
+        f"engine {engine!r} unavailable for design {design.name!r} "
+        f"({exc}); falling back to the python reference engine",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+    simulator = Simulator(design)
+    simulator.fallback_reason = str(exc)
+    return simulator
+
+
 def make_simulator(design: Design, engine: str = "python"):
     """Build a simulator for ``design`` using the requested backend.
 
     ``engine="python"`` returns the reference :class:`Simulator`;
     ``engine="compiled"`` returns a bit-exact
     :class:`~repro.sim.compile.CompiledSimulator` (programs come from
-    the global program cache, so repeated construction is cheap).
+    the global program cache, so repeated construction is cheap);
+    ``engine="checked"`` returns a
+    :class:`~repro.sim.checked.CheckedSimulator` running compiled and
+    reference engines in lockstep with periodic cross-comparison.
+
+    Graceful degradation: when lowering to the compiled backend fails
+    with a :class:`~repro.errors.CompilationError`, both ``"compiled"``
+    and ``"checked"`` fall back to the reference engine — a
+    ``RuntimeWarning`` is emitted and the returned simulator carries
+    ``fallback_reason`` so callers (e.g.
+    :func:`repro.core.algorithm.isolate_design`) can record the
+    degradation in their stage timings. Design-level errors (validation
+    failures and other typed :class:`~repro.errors.ReproError`\\ s)
+    propagate unchanged: they would fail on any backend.
     """
     if engine == "python":
         return Simulator(design)
@@ -172,7 +203,17 @@ def make_simulator(design: Design, engine: str = "python"):
         # Imported lazily: repro.sim.compile imports this module.
         from repro.sim.compile import CompiledSimulator
 
-        return CompiledSimulator(design)
+        try:
+            return CompiledSimulator(design)
+        except CompilationError as exc:
+            return _degraded(design, engine, exc)
+    if engine == "checked":
+        from repro.sim.checked import CheckedSimulator
+
+        try:
+            return CheckedSimulator(design)
+        except CompilationError as exc:
+            return _degraded(design, engine, exc)
     from repro.runconfig import ENGINES
 
     raise SimulationError(f"unknown engine {engine!r}; choose one of {ENGINES}")

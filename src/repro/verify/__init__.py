@@ -11,6 +11,12 @@ transform.)
 :mod:`repro.verify.observability` provides the BDD-based static checks:
 activation functions derived on the transformed design must imply the
 original ones, and simplification must preserve functions exactly.
+
+:mod:`repro.verify.faults` turns the defence layers on themselves: it
+injects structural damage (disconnected pins, corrupted widths,
+combinational loops, stuck control nets, flipped activation literals)
+and asserts every fault is caught by validation, a typed error, or
+equivalence failure — never answered silently.
 """
 
 from repro.verify.equivalence import (
@@ -22,6 +28,17 @@ from repro.verify.observability import (
     activation_preserved_after_isolation,
     functions_equivalent,
 )
+from repro.verify.faults import (
+    FAULT_KINDS,
+    CampaignReport,
+    FaultOutcome,
+    FaultSpec,
+    campaign_diagnostics,
+    enumerate_faults,
+    evaluate_fault,
+    inject_fault,
+    run_campaign,
+)
 
 __all__ = [
     "EquivalenceReport",
@@ -29,4 +46,13 @@ __all__ = [
     "assert_observable_equivalence",
     "functions_equivalent",
     "activation_preserved_after_isolation",
+    "FAULT_KINDS",
+    "FaultSpec",
+    "FaultOutcome",
+    "CampaignReport",
+    "enumerate_faults",
+    "inject_fault",
+    "evaluate_fault",
+    "run_campaign",
+    "campaign_diagnostics",
 ]

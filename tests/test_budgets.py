@@ -1,0 +1,193 @@
+"""Resource budgets: BDD node caps with bounded fallback, batch checkpoints."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.boolean import (
+    BddManager,
+    and_,
+    not_,
+    or_,
+    probability_bounds,
+    signal_probability,
+    var,
+)
+from repro.errors import BooleanError, BudgetExceededError, SimulationError
+from repro.designs import design1
+from repro.sim import (
+    BatchCheckpoint,
+    BatchRandomStimulus,
+    BatchSimulator,
+    BatchToggleMonitor,
+)
+
+
+def _wide_expr(n=8):
+    xs = [var(f"x{i}") for i in range(n)]
+    ys = [var(f"y{i}") for i in range(n)]
+    return or_(*[and_(a, b) for a, b in zip(xs, ys)]), xs + ys
+
+
+# ----------------------------------------------------------------------
+# BDD node budget
+# ----------------------------------------------------------------------
+def test_budget_exceeded_raises_with_accounting():
+    expr, _ = _wide_expr()
+    manager = BddManager(max_nodes=10)
+    with pytest.raises(BudgetExceededError) as excinfo:
+        manager.from_expr(expr)
+    assert excinfo.value.budget == 10
+    assert excinfo.value.used >= 10
+    assert "budget" in str(excinfo.value)
+
+
+def test_budget_must_allow_terminals():
+    with pytest.raises(BooleanError):
+        BddManager(max_nodes=1)
+
+
+def test_unbounded_by_default():
+    expr, _ = _wide_expr()
+    manager = BddManager()
+    assert manager.max_nodes is None
+    node = manager.from_expr(expr)  # must not raise
+    assert node not in (manager.FALSE, manager.TRUE)
+
+
+def test_generous_budget_never_triggers():
+    expr, _ = _wide_expr(4)
+    manager = BddManager(max_nodes=10_000)
+    exact = manager.expr_probability(expr, {})
+    assert 0.0 < exact < 1.0
+
+
+# ----------------------------------------------------------------------
+# Probability bounds (Fréchet fallback)
+# ----------------------------------------------------------------------
+def test_bounds_exact_on_literals():
+    x = var("x")
+    assert probability_bounds(x, {"x": 0.3}) == (0.3, 0.3)
+    assert probability_bounds(not_(x), {"x": 0.3}) == (0.7, 0.7)
+
+
+def test_bounds_bracket_exact_probability():
+    rng = np.random.default_rng(7)
+    names = [f"v{i}" for i in range(6)]
+    vs = [var(n) for n in names]
+    for trial in range(20):
+        # Random 3-term SOP over 6 variables, some negated, reconvergent.
+        terms = []
+        for _ in range(3):
+            picks = rng.choice(6, size=2, replace=False)
+            lits = [
+                vs[p] if rng.random() < 0.5 else not_(vs[p]) for p in picks
+            ]
+            terms.append(and_(*lits))
+        expr = or_(*terms)
+        probs = {n: float(rng.uniform(0.05, 0.95)) for n in names}
+        exact = BddManager().expr_probability(expr, probs)
+        low, high = probability_bounds(expr, probs)
+        assert low - 1e-12 <= exact <= high + 1e-12, (trial, low, exact, high)
+        assert 0.0 <= low <= high <= 1.0
+
+
+def test_signal_probability_fallback_warns_and_bounds():
+    expr, names = _wide_expr()
+    probs = {v.name: 0.3 for v in names}
+    exact = signal_probability(expr, probs)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        approx = signal_probability(expr, probs, max_nodes=10)
+    assert len(caught) == 1
+    assert issubclass(caught[0].category, RuntimeWarning)
+    assert "fell back" in str(caught[0].message)
+    low, high = probability_bounds(expr, probs)
+    assert approx == pytest.approx((low + high) / 2)
+    assert low <= exact <= high
+
+
+def test_signal_probability_exact_when_budget_suffices():
+    expr, names = _wide_expr(3)
+    probs = {v.name: 0.4 for v in names}
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # any warning fails the test
+        exact = signal_probability(expr, probs, max_nodes=10_000)
+    assert exact == pytest.approx(signal_probability(expr, probs))
+
+
+# ----------------------------------------------------------------------
+# Batch checkpoint / resume
+# ----------------------------------------------------------------------
+def _run_with_checkpoints(design, seed=3, cycles=100, warmup=10, every=25):
+    sim = BatchSimulator(design, batch_size=8)
+    stim = BatchRandomStimulus(design, batch_size=8, seed=seed)
+    monitors = sim.run(
+        stim,
+        cycles=cycles,
+        monitors=[BatchToggleMonitor()],
+        warmup=warmup,
+        checkpoint_every=every,
+    )
+    return sim, monitors[0]
+
+
+def test_checkpoint_recorded_during_run():
+    design = design1()
+    sim, _ = _run_with_checkpoints(design)
+    ck = sim.last_checkpoint
+    assert isinstance(ck, BatchCheckpoint)
+    assert ck.step_index == 100  # last multiple of 25 within 110 steps
+    assert ck.monitors and isinstance(ck.monitors[0], BatchToggleMonitor)
+    # Identity preservation: the copied monitor observes the very same
+    # Net objects as the live design (deepcopy shared them via memo).
+    assert set(ck.monitors[0].toggles) <= set(design.nets)
+
+
+def test_resume_reproduces_interrupted_run():
+    design = design1()
+    sim, monitor = _run_with_checkpoints(design)
+    reference = {net.name: monitor.toggles[net].copy() for net in monitor.toggles}
+    ck = sim.last_checkpoint
+
+    # "After the fault": fresh simulator, stimulus replayed to the
+    # checkpoint cycle (bit-exact replay keeps this test deterministic).
+    sim2 = BatchSimulator(design, batch_size=8)
+    stim2 = BatchRandomStimulus(design, batch_size=8, seed=3)
+    for cycle in range(ck.cycle):
+        stim2.values(cycle)
+    monitors = sim2.run(stim2, cycles=100, warmup=10, resume_from=ck)
+    resumed = monitors[0]
+    assert resumed.cycles == monitor.cycles
+    for net in monitor.toggles:
+        assert (resumed.toggles[net] == reference[net.name]).all(), net.name
+
+
+def test_checkpoint_is_reusable():
+    design = design1()
+    sim, _ = _run_with_checkpoints(design)
+    ck = sim.last_checkpoint
+    results = []
+    for _ in range(2):
+        sim_n = BatchSimulator(design, batch_size=8)
+        stim_n = BatchRandomStimulus(design, batch_size=8, seed=3)
+        for cycle in range(ck.cycle):
+            stim_n.values(cycle)
+        mon = sim_n.run(stim_n, cycles=100, warmup=10, resume_from=ck)[0]
+        results.append({n.name: mon.toggles[n].copy() for n in mon.toggles})
+    assert all((results[0][k] == results[1][k]).all() for k in results[0])
+
+
+def test_checkpoint_every_validation():
+    design = design1()
+    sim = BatchSimulator(design, batch_size=4)
+    stim = BatchRandomStimulus(design, batch_size=4, seed=0)
+    with pytest.raises(SimulationError):
+        sim.run(stim, cycles=10, checkpoint_every=0)
+
+
+def test_batch_rejects_checked_engine():
+    with pytest.raises(SimulationError) as excinfo:
+        BatchSimulator(design1(), batch_size=4, engine="checked")
+    assert "checked" in str(excinfo.value)

@@ -1,0 +1,131 @@
+"""The ``repro validate`` subcommand and typed CLI failure paths."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+GOOD = """\
+design tiny
+net A 8
+net Y 8
+cell pi IN Y=A
+cell not n0 A=A Y=Y
+cell po OUT A=Y
+"""
+
+# Y has no driver (error); W has no readers (warning).
+BROKEN = """\
+design sick
+net A 8
+net Y 8
+net W 8
+cell pi IN Y=A
+cell pi IN2 Y=W
+cell po OUT A=Y
+"""
+
+
+def _write(tmp_path, text, name="design.rtl"):
+    path = tmp_path / name
+    path.write_text(text)
+    return str(path)
+
+
+def test_validate_healthy_exits_zero(tmp_path, capsys):
+    code = main(["validate", _write(tmp_path, GOOD)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "OK" in out
+
+
+def test_validate_builtin_exits_zero(capsys):
+    assert main(["validate", "--builtin", "design1"]) == 0
+
+
+def test_validate_broken_exits_one(tmp_path, capsys):
+    code = main(["validate", _write(tmp_path, BROKEN)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "[error] no-driver" in out
+    assert "[warning] no-readers" in out
+    assert "FAILED" in out
+
+
+def test_validate_allow_dangling_hides_warnings(tmp_path, capsys):
+    code = main(["validate", "--allow-dangling", _write(tmp_path, BROKEN)])
+    out = capsys.readouterr().out
+    assert code == 1  # the error remains
+    assert "no-readers" not in out
+
+
+def test_validate_json_output(tmp_path, capsys):
+    code = main(["validate", "--json", _write(tmp_path, BROKEN)])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert payload["design"] == "sick"
+    assert payload["ok"] is False
+    codes = {d["code"] for d in payload["diagnostics"]}
+    assert "no-driver" in codes
+    entry = next(d for d in payload["diagnostics"] if d["code"] == "no-driver")
+    assert entry["severity"] == "error"
+    assert entry["net"] == "Y"
+
+
+def test_validate_json_healthy(tmp_path, capsys):
+    code = main(["validate", "--json", _write(tmp_path, GOOD)])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert payload["ok"] is True
+    assert payload["diagnostics"] == []
+
+
+def test_validate_with_fault_campaign(capsys):
+    code = main(
+        ["validate", "--builtin", "fig1", "--faults", "1", "--cycles", "60", "--json"]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    campaign = payload["fault_campaign"]
+    assert campaign["faults"] > 0
+    assert campaign["silent"] == 0
+    assert campaign["detected"] + campaign["masked"] == campaign["faults"]
+
+
+def test_validate_campaign_text_summary(capsys):
+    code = main(["validate", "--builtin", "fig1", "--faults", "1", "--cycles", "60"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "fault campaign" in out
+    assert "0 SILENT" in out
+
+
+# ----------------------------------------------------------------------
+# Typed failure paths: every ReproError exits 2, no tracebacks.
+# ----------------------------------------------------------------------
+def test_missing_netlist_file_exits_two(capsys):
+    code = main(["validate", "/nonexistent/path.rtl"])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert err.startswith("error: ")
+    assert "cannot read netlist" in err
+
+
+def test_malformed_netlist_exits_two(tmp_path, capsys):
+    code = main(["validate", _write(tmp_path, "design t\nnet A eight\n")])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "line 2" in err
+
+
+def test_unknown_builtin_exits_two(capsys):
+    code = main(["validate", "--builtin", "nope"])
+    assert code == 2
+    assert "unknown builtin" in capsys.readouterr().err
+
+
+def test_no_input_exits_two(capsys):
+    code = main(["validate"])
+    assert code == 2
+    assert "provide a netlist" in capsys.readouterr().err

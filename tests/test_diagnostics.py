@@ -1,0 +1,124 @@
+"""Structured diagnostics and the Session.validate() facade."""
+
+import pytest
+
+from repro.api import Session
+from repro.designs import design1
+from repro.diagnostics import (
+    CODES,
+    SEVERITIES,
+    Diagnostic,
+    errors_only,
+    format_diagnostics,
+    worst_severity,
+)
+from repro.netlist.design import Design
+from repro.netlist.ports import PrimaryInput, PrimaryOutput
+from repro.netlist.validate import validation_problems
+
+
+def _diag(**kwargs):
+    base = dict(code="no-driver", message="net 'X' has no driver", net="X")
+    base.update(kwargs)
+    return Diagnostic(**base)
+
+
+def test_legacy_string_compatibility():
+    diag = _diag()
+    assert str(diag) == "net 'X' has no driver"
+    assert "no driver" in diag  # substring membership, legacy contract
+    assert "zebra" not in diag
+
+
+def test_format_and_location():
+    diag = _diag(cell="u1")
+    assert diag.location == "cell u1, net X"
+    line = diag.format()
+    assert line.startswith("[error] no-driver")
+    assert "cell u1" in line and "net X" in line
+    anonymous = Diagnostic(code="comb-loop", message="cycle found")
+    assert anonymous.location == "design"
+
+
+def test_to_dict_round_trip():
+    diag = _diag(severity="warning")
+    data = diag.to_dict()
+    assert data == {
+        "code": "no-driver",
+        "severity": "warning",
+        "cell": None,
+        "net": "X",
+        "message": "net 'X' has no driver",
+    }
+    assert Diagnostic(**data) == diag
+
+
+def test_helpers():
+    err = _diag()
+    warn = _diag(severity="warning")
+    assert worst_severity([warn, err]) == "error"
+    assert worst_severity([warn]) == "warning"
+    assert worst_severity([]) is None
+    assert errors_only([warn, err]) == [err]
+    rendered = format_diagnostics([err, warn])
+    assert rendered.count("\n") == 1
+    assert "[warning]" in rendered
+
+
+def test_known_codes_registered():
+    assert "silent-fault" in CODES
+    assert set(SEVERITIES) == {"error", "warning"}
+
+
+# ----------------------------------------------------------------------
+# validation_problems now speaks Diagnostic
+# ----------------------------------------------------------------------
+def _broken_design():
+    design = Design("broken")
+    a = design.add_net("A", 8)
+    dangling = design.add_net("D", 8)
+    pi = design.add_cell(PrimaryInput("I"))
+    design.connect(pi, "Y", a)
+    po = design.add_cell(PrimaryOutput("O"))
+    design.connect(po, "A", a)
+    return design, dangling
+
+
+def test_validation_problems_are_diagnostics():
+    design, _ = _broken_design()
+    problems = validation_problems(design)
+    assert problems
+    assert all(isinstance(p, Diagnostic) for p in problems)
+    codes = {p.code for p in problems}
+    assert "no-driver" in codes  # net D undriven
+    by_code = {p.code: p for p in problems}
+    assert by_code["no-driver"].net == "D"
+    assert by_code["no-driver"].severity == "error"
+
+
+def test_no_readers_is_a_warning_and_suppressable():
+    design = Design("warn_only")
+    a = design.add_net("A", 8)
+    pi = design.add_cell(PrimaryInput("I"))
+    design.connect(pi, "Y", a)
+    problems = validation_problems(design)
+    assert [p.code for p in problems] == ["no-readers"]
+    assert problems[0].severity == "warning"
+    assert validation_problems(design, allow_dangling=True) == []
+
+
+# ----------------------------------------------------------------------
+# Session.validate()
+# ----------------------------------------------------------------------
+def test_session_validate_healthy():
+    assert Session(design1()).validate() == []
+
+
+def test_session_validate_reports_diagnostics():
+    design, _ = _broken_design()
+    diagnostics = Session(design).validate()
+    assert any(d.code == "no-driver" for d in diagnostics)
+    # allow_dangling only silences the warning class, not errors
+    still = Session(design).validate(allow_dangling=True)
+    assert any(d.code == "no-driver" for d in still)
+    assert all(d.code != "no-readers" for d in still)

@@ -1,0 +1,94 @@
+"""Fuzz corpus: malformed netlist text must fail with NetlistError only.
+
+Every file under ``tests/data/fuzz`` is a netlist the parser must
+reject. The contract pinned here is the robustness guarantee of
+:func:`repro.netlist.textio.loads`:
+
+* the raised exception is a :class:`NetlistError` (a typed ReproError),
+  never a bare ``IndexError``/``ValueError``/``KeyError`` escaping the
+  parser internals;
+* whenever the problem is attributable to a line, the message carries
+  ``line <n>`` so users can find it.
+"""
+
+import glob
+import os
+import re
+
+import pytest
+
+from repro.errors import NetlistError, ReproError
+from repro.netlist import textio
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "data", "fuzz")
+CORPUS = sorted(glob.glob(os.path.join(CORPUS_DIR, "*.rtl")))
+
+# Whole-file problems have no single offending line.
+NO_LINE_NUMBER = {"empty.rtl", "no_design.rtl"}
+
+
+def corpus_ids():
+    return [os.path.basename(path) for path in CORPUS]
+
+
+def test_corpus_present():
+    assert len(CORPUS) >= 12, "fuzz corpus went missing"
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=corpus_ids())
+def test_malformed_file_raises_netlist_error(path):
+    with open(path, "r", encoding="utf-8", errors="replace") as handle:
+        text = handle.read()
+    with pytest.raises(NetlistError) as excinfo:
+        textio.loads(text)
+    # Typed: a ReproError subclass, and not a disguised internal error.
+    assert isinstance(excinfo.value, ReproError)
+    message = str(excinfo.value)
+    assert message, "error message must not be empty"
+    if os.path.basename(path) not in NO_LINE_NUMBER:
+        assert re.search(r"line \d+", message), (
+            f"{os.path.basename(path)}: expected a line number in {message!r}"
+        )
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=corpus_ids())
+def test_load_from_file_also_typed(path, tmp_path):
+    # The file-level entry point must present the same typed surface.
+    with pytest.raises(NetlistError):
+        textio.load(path)
+
+
+def test_missing_file_is_netlist_error(tmp_path):
+    with pytest.raises(NetlistError) as excinfo:
+        textio.load(str(tmp_path / "does_not_exist.rtl"))
+    assert "cannot read netlist" in str(excinfo.value)
+
+
+def test_undecodable_file_is_netlist_error(tmp_path):
+    path = tmp_path / "bad_encoding.rtl"
+    path.write_bytes(b"design t\nnet \xff\xfe\x00A 8\n")
+    with pytest.raises(NetlistError):
+        textio.load(str(path))
+
+
+def test_mutated_good_netlist_never_escapes_untyped():
+    """Single-token mutations of a valid netlist stay typed.
+
+    Deterministic fuzzing: drop, duplicate or truncate each token of a
+    known-good serialisation and require that parsing either succeeds or
+    raises NetlistError — nothing else.
+    """
+    from repro.designs import design1
+
+    good = textio.dumps(design1())
+    tokens = good.split(" ")
+    mutations = []
+    for i in range(len(tokens)):
+        mutations.append(" ".join(tokens[:i] + tokens[i + 1 :]))  # drop
+        mutations.append(" ".join(tokens[:i] + [tokens[i][:1]] + tokens[i + 1 :]))
+    for mutated in mutations:
+        try:
+            textio.loads(mutated)
+        except NetlistError:
+            pass  # typed rejection is the contract
+        # any other exception propagates and fails the test
