@@ -3,9 +3,13 @@
 # test/bench run straight from the source tree (no editable install
 # needed) — the same invocation CI and the tier-1 check use.
 
-.PHONY: install test bench examples verify all clean
+.PHONY: install test bench coverage examples verify all clean
 
 PYTEST = PYTHONPATH=src python -m pytest
+
+# Ratchet floor: measured baseline (94.8% at last ratchet) minus a
+# safety margin for tracer differences. Only moves up.
+COV_FLOOR = 90
 
 install:
 	pip install -e . || python setup.py develop
@@ -15,6 +19,13 @@ test:
 
 bench:
 	$(PYTEST) -q benchmarks/
+
+coverage:
+	@if python -c "import pytest_cov" 2>/dev/null; then \
+		$(PYTEST) -q --cov=repro --cov-report=term --cov-fail-under=$(COV_FLOOR) tests; \
+	else \
+		PYTHONPATH=src python scripts/coverage_lite.py --fail-under $(COV_FLOOR); \
+	fi
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; PYTHONPATH=src python $$f; done

@@ -21,7 +21,19 @@ deep imports (``repro.core``, ``repro.sim``, ...) remain available.
 
 __version__ = "1.0.0"
 
-from repro import api, baselines, boolean, core, designs, netlist, power, sim, timing, verify
+from repro import (
+    api,
+    baselines,
+    boolean,
+    core,
+    designs,
+    netlist,
+    parallel,
+    power,
+    sim,
+    timing,
+    verify,
+)
 from repro.runconfig import ENGINES, RunConfig
 
 __all__ = [
@@ -34,6 +46,7 @@ __all__ = [
     "core",
     "designs",
     "baselines",
+    "parallel",
     "verify",
     "RunConfig",
     "ENGINES",

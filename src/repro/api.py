@@ -45,7 +45,12 @@ from repro.diagnostics import Diagnostic
 from repro.netlist import textio
 from repro.netlist.design import Design
 from repro.netlist.validate import validation_problems
-from repro.power.estimator import PowerBreakdown, estimate_power
+from repro.power.estimator import (
+    PowerBreakdown,
+    PowerInterval,
+    estimate_power,
+    estimate_power_ci,
+)
 from repro.power.library import TechnologyLibrary, default_library
 from repro.runconfig import ENGINES, RunConfig
 from repro.sim.engine import SimulationResult, make_simulator
@@ -115,6 +120,7 @@ class Session:
                 cycles=cfg.cycles,
                 warmup=cfg.warmup,
                 engine=cfg.engine,
+                workers=cfg.workers,
             )
         elif style is not None and style != config.style:
             import dataclasses
@@ -136,6 +142,29 @@ class Session:
         """Power breakdown of the design under the session stimulus."""
         return estimate_power(
             self.design, self.stimulus(run), library=self.library, run=self._run(run)
+        )
+
+    def estimate_ci(
+        self,
+        batch_size: int = 32,
+        run: Optional[RunConfig] = None,
+        stimulus_kwargs: Optional[dict] = None,
+    ) -> PowerInterval:
+        """Monte-Carlo power estimate with a 95% confidence interval.
+
+        Runs ``batch_size`` independent replications through the sharded
+        batch engine (parallel when ``run.workers > 1``; bit-exact across
+        worker counts). The replications use a fresh
+        :class:`~repro.sim.batch.BatchRandomStimulus` derived from the
+        session seed — the session's own stimulus object, if any, is not
+        consulted (the batch engine generates its lanes vectorised).
+        """
+        return estimate_power_ci(
+            self.design,
+            batch_size=batch_size,
+            run=self._run(run),
+            library=self.library,
+            stimulus_kwargs=stimulus_kwargs,
         )
 
     def isolate(
@@ -231,9 +260,11 @@ __all__ = [
     "StageTimings",
     "CostWeights",
     "PowerBreakdown",
+    "PowerInterval",
     "RankedCandidate",
     "StyleComparison",
     "estimate_power",
+    "estimate_power_ci",
     "isolate_design",
     "rank_candidates",
     "compare_styles",

@@ -76,6 +76,12 @@ class Const(Expr):
     def __setattr__(self, *args) -> None:  # pragma: no cover - immutability
         raise AttributeError("Const is immutable")
 
+    def __reduce__(self):
+        # Slotted immutable nodes need explicit pickling support (the
+        # default protocol restores state via the blocked __setattr__);
+        # expressions cross process boundaries in repro.parallel.
+        return (Const, (self.value,))
+
     def support(self) -> FrozenSet[str]:
         return frozenset()
 
@@ -113,6 +119,9 @@ class Var(Expr):
     def __setattr__(self, *args) -> None:  # pragma: no cover - immutability
         raise AttributeError("Var is immutable")
 
+    def __reduce__(self):
+        return (Var, (self.name,))
+
     def support(self) -> FrozenSet[str]:
         return frozenset((self.name,))
 
@@ -146,6 +155,9 @@ class Not(Expr):
 
     def __setattr__(self, *args) -> None:  # pragma: no cover - immutability
         raise AttributeError("Not is immutable")
+
+    def __reduce__(self):
+        return (Not, (self.child,))
 
     def support(self) -> FrozenSet[str]:
         return self.child.support()
@@ -183,6 +195,9 @@ class _NaryOp(Expr):
 
     def __setattr__(self, *args) -> None:  # pragma: no cover - immutability
         raise AttributeError("expression nodes are immutable")
+
+    def __reduce__(self):
+        return (type(self), (self.args,))
 
     def support(self) -> FrozenSet[str]:
         result: FrozenSet[str] = frozenset()

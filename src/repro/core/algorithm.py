@@ -46,6 +46,14 @@ from repro.timing.sta import analyze_timing
 StimulusSource = Union[Stimulus, Callable[[], Stimulus]]
 
 
+def _default_workers() -> int:
+    # Lazy import: repro.parallel imports core submodules and would
+    # cycle back here if imported at module scope.
+    from repro.parallel.pool import default_workers
+
+    return default_workers()
+
+
 @dataclass(frozen=True)
 class IsolationConfig:
     """Knobs of Algorithm 1.
@@ -90,6 +98,14 @@ class IsolationConfig:
         backend of :mod:`repro.sim.compile`; bit-exact, much faster) or
         ``"checked"`` (compiled + reference in lockstep with periodic
         cross-comparison; raises on any divergence).
+    workers:
+        Process-pool width for the per-candidate scoring stage
+        (:mod:`repro.parallel`): ``1`` = serial, ``0`` = auto (one
+        worker per CPU), ``n > 1`` = a pool of ``n`` workers. Defaults
+        to the ``REPRO_WORKERS`` environment variable (else 1). Greedy
+        selection is bit-identical across worker counts; pool failures
+        degrade to serial with a recorded
+        ``StageTimings.pool_fallback_reason``.
     """
 
     style: str = "and"
@@ -103,11 +119,16 @@ class IsolationConfig:
     lookahead_depth: int = 0
     max_iterations: int = 25
     engine: str = "python"
+    workers: int = field(default_factory=_default_workers)
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
             raise IsolationError(
                 f"unknown engine {self.engine!r}; choose one of {ENGINES}"
+            )
+        if self.workers < 0:
+            raise IsolationError(
+                f"workers must be >= 0 (0 = auto), got {self.workers}"
             )
 
 
@@ -133,7 +154,16 @@ class StageTimings:
     ``fallback_reason`` is set when a requested compiled backend could
     not be built and the run gracefully degraded to the python
     reference engine (see :func:`repro.sim.engine.make_simulator`);
-    ``engine`` then still names what was *requested*.
+    ``engine`` then still names what was *requested*. Likewise
+    ``pool_fallback_reason`` is set when a requested worker pool failed
+    and candidate scoring degraded to serial execution
+    (:class:`repro.parallel.WorkerPool`); ``workers`` still names the
+    resolved request.
+
+    ``parallel_tasks`` / ``parallel_busy_s`` / ``parallel_wall_s``
+    account for pooled scoring work: tasks dispatched, summed in-worker
+    seconds, and wall-clock seconds the parent spent waiting on the
+    pool. ``worker_utilization`` is busy / (workers × wall).
     """
 
     simulate_s: float = 0.0
@@ -142,10 +172,22 @@ class StageTimings:
     simulations: int = 0
     engine: str = "python"
     fallback_reason: Optional[str] = None
+    workers: int = 1
+    parallel_tasks: int = 0
+    parallel_busy_s: float = 0.0
+    parallel_wall_s: float = 0.0
+    pool_fallback_reason: Optional[str] = None
 
     @property
     def total_s(self) -> float:
         return self.simulate_s + self.score_s + self.transform_s
+
+    @property
+    def worker_utilization(self) -> float:
+        """Fraction of the pool's capacity kept busy (0 when unused)."""
+        if self.workers <= 1 or self.parallel_wall_s <= 0.0:
+            return 0.0
+        return self.parallel_busy_s / (self.workers * self.parallel_wall_s)
 
     def to_dict(self) -> dict:
         payload = {
@@ -155,9 +197,19 @@ class StageTimings:
             "total_s": self.total_s,
             "simulations": self.simulations,
             "engine": self.engine,
+            "workers": self.workers,
         }
         if self.fallback_reason is not None:
             payload["fallback_reason"] = self.fallback_reason
+        if self.workers > 1 or self.parallel_tasks:
+            payload["parallel"] = {
+                "tasks": self.parallel_tasks,
+                "busy_s": self.parallel_busy_s,
+                "wall_s": self.parallel_wall_s,
+                "utilization": self.worker_utilization,
+            }
+        if self.pool_fallback_reason is not None:
+            payload["pool_fallback_reason"] = self.pool_fallback_reason
         return payload
 
 
@@ -267,12 +319,23 @@ class IsolationResult:
             f"  stages : simulate {self.timings.simulate_s:.3f}s, "
             f"score {self.timings.score_s:.3f}s, "
             f"transform {self.timings.transform_s:.3f}s "
-            f"({self.timings.simulations} runs, engine {self.timings.engine!r})",
+            f"({self.timings.simulations} runs, engine {self.timings.engine!r}, "
+            f"workers {self.timings.workers})",
         ]
+        if self.timings.workers > 1 and self.timings.parallel_tasks:
+            lines.append(
+                f"  pool   : {self.timings.parallel_tasks} tasks, "
+                f"{self.timings.worker_utilization:.0%} utilization"
+            )
         if self.timings.fallback_reason:
             lines.append(
                 f"  note   : engine degraded to 'python' "
                 f"({self.timings.fallback_reason})"
+            )
+        if self.timings.pool_fallback_reason:
+            lines.append(
+                f"  note   : scoring pool degraded to serial "
+                f"({self.timings.pool_fallback_reason})"
             )
         return "\n".join(lines)
 
@@ -339,9 +402,16 @@ def isolate_design(
         )
     library = library or default_library()
 
+    # Worker pool for the per-candidate scoring stage (repro.parallel).
+    # Imported lazily to avoid a core <-> parallel import cycle.
+    from repro.parallel.pool import WorkerPool
+    from repro.parallel.scoring import score_candidates
+
+    pool = WorkerPool(config.workers)
+
     working = design.copy(f"{design.name}_iso_{config.style}")
 
-    timings = StageTimings(engine=config.engine)
+    timings = StageTimings(engine=config.engine, workers=pool.workers)
 
     def timed_measure(*args, **kwargs):
         start = time.perf_counter()
@@ -457,6 +527,15 @@ def isolate_design(
             weights=config.weights,
         )
 
+        # Score every surviving (candidate, style) pair — serially or on
+        # the worker pool; both paths are bit-identical (repro.parallel).
+        evaluated = score_candidates(
+            cost_model,
+            [(c.name, style) for c in slack_ok for style in allowed_styles[c.name]],
+            refined=config.refined_savings,
+            pool=pool,
+        )
+
         # Per block: isolate the best candidate clearing h_min (lines 17–29).
         performed = False
         for block in blocks:
@@ -469,9 +548,7 @@ def isolate_design(
             for c in block_candidates:
                 best_for_candidate = None
                 for style in allowed_styles[c.name]:
-                    score = cost_model.evaluate(
-                        c, style, refined=config.refined_savings
-                    )
+                    score = evaluated[(c.name, style)]
                     if best_for_candidate is None or score.h > best_for_candidate.h:
                         best_for_candidate = score
                 scores.append(best_for_candidate)
@@ -502,4 +579,12 @@ def isolate_design(
         worst_slack=final_timing.worst_slack,
         clock_period=period,
     )
+
+    # Fold the pool's utilization accounting into the stage timings.
+    pool_report = pool.report()
+    timings.parallel_tasks = pool_report.tasks
+    timings.parallel_busy_s = pool_report.busy_seconds
+    timings.parallel_wall_s = pool_report.wall_seconds
+    timings.pool_fallback_reason = pool_report.fallback_reason
+    pool.close()
     return result

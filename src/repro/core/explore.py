@@ -68,6 +68,39 @@ class RankedCandidate:
         }
 
 
+def assess_candidate(
+    candidate: IsolationCandidate,
+    cost_model: CostModel,
+    design: Design,
+    style: str,
+    library: TechnologyLibrary,
+    timing,
+) -> RankedCandidate:
+    """The full what-if assessment of one (non-always-active) candidate.
+
+    Pure per-candidate computation against a calibrated cost model —
+    also the unit of work the :mod:`repro.parallel` pool dispatches.
+    """
+    score = cost_model.evaluate(candidate, style)
+    impact = estimate_isolation_impact(
+        design, candidate.cell, candidate.activation, style, library, timing
+    )
+    return RankedCandidate(
+        name=candidate.name,
+        activation=repr(candidate.activation),
+        idle_probability=score.savings.idle_probability,
+        primary_mw=score.savings.primary_mw,
+        secondary_mw=score.savings.secondary_mw,
+        overhead_mw=score.savings.overhead_mw,
+        net_mw=score.savings.net_mw,
+        area_um2=score.area,
+        h=score.h,
+        estimated_slack=impact.estimated_slack,
+        block_index=candidate.block.index,
+        always_active=False,
+    )
+
+
 def rank_candidates(
     design: Design,
     stimulus: Stimulus,
@@ -83,9 +116,10 @@ def rank_candidates(
     """Assess every candidate of ``design`` under ``stimulus``.
 
     Returns candidates sorted by descending ``h(c)``. The design is not
-    modified. Run control comes from ``run=RunConfig(...)`` (and the
-    first-class ``engine=`` override); bare ``cycles=`` still works as a
-    deprecated alias.
+    modified. Run control comes from ``run=RunConfig(...)`` (including
+    ``workers`` — per-candidate assessments go to the process pool, with
+    results identical to the serial loop); the first-class ``engine=``
+    override and the deprecated bare ``cycles=`` alias still work.
     """
     cfg = resolve_run_config(
         run,
@@ -126,6 +160,19 @@ def rank_candidates(
     period = clock_period if clock_period is not None else reference.clock_period * 1.25
     timing = analyze_timing(design, library, clock_period=period)
 
+    # Assess the non-trivial candidates, serially or on the worker pool
+    # (lazy import: repro.parallel imports this module's RankedCandidate).
+    from repro.parallel.pool import WorkerPool
+    from repro.parallel.scoring import rank_chunked
+
+    assessable = [
+        c.name for c in candidates if not c.isolated and not c.always_active
+    ]
+    with WorkerPool(cfg.workers) as pool:
+        assessed = rank_chunked(
+            cost_model, assessable, design, style, library, timing, pool
+        )
+
     ranked: List[RankedCandidate] = []
     for candidate in candidates:
         if candidate.isolated:
@@ -148,26 +195,7 @@ def rank_candidates(
                 )
             )
             continue
-        score = cost_model.evaluate(candidate, style)
-        impact = estimate_isolation_impact(
-            design, candidate.cell, candidate.activation, style, library, timing
-        )
-        ranked.append(
-            RankedCandidate(
-                name=candidate.name,
-                activation=repr(candidate.activation),
-                idle_probability=score.savings.idle_probability,
-                primary_mw=score.savings.primary_mw,
-                secondary_mw=score.savings.secondary_mw,
-                overhead_mw=score.savings.overhead_mw,
-                net_mw=score.savings.net_mw,
-                area_um2=score.area,
-                h=score.h,
-                estimated_slack=impact.estimated_slack,
-                block_index=candidate.block.index,
-                always_active=False,
-            )
-        )
+        ranked.append(assessed[candidate.name])
     ranked.sort(key=lambda r: r.h, reverse=True)
     return ranked
 

@@ -17,6 +17,7 @@ from repro.core.algorithm import (
     IsolationConfig,
     IsolationResult,
     StimulusSource,
+    _stimulus_of,
     isolate_design,
 )
 from repro.netlist.design import Design
@@ -92,11 +93,24 @@ def compare_styles(
     library = library or default_library()
     styles = styles or ["and", "or", "latch"]
 
+    # With workers > 1 the per-style Algorithm-1 runs are independent, so
+    # they go to the process pool (repro.parallel.isolate_styles); each
+    # pooled run scores serially to avoid nested pools. Results are
+    # bit-exact with the serial loop for deterministic stimulus sources.
+    from repro.parallel.pool import WorkerPool
+    from repro.parallel.scoring import isolate_styles
+
+    style_configs = [
+        dataclasses.replace(base_config, style=style) for style in styles
+    ]
+    with WorkerPool(base_config.workers) as pool:
+        results = isolate_styles(
+            design, lambda: _stimulus_of(stimulus), style_configs, library, pool=pool
+        )
+
     comparison = StyleComparison(design_name=design.name)
     baseline_row: Optional[StyleRow] = None
-    for style in styles:
-        style_config = dataclasses.replace(base_config, style=style)
-        result = isolate_design(design, stimulus, style_config, library)
+    for style, result in zip(styles, results):
         comparison.results[style] = result
         if baseline_row is None:
             baseline_row = StyleRow(

@@ -1,0 +1,215 @@
+"""Process-pool plumbing shared by every parallel entry point.
+
+:class:`WorkerPool` wraps :class:`concurrent.futures.ProcessPoolExecutor`
+with the three behaviours the rest of :mod:`repro.parallel` relies on:
+
+* **Determinism** — :meth:`WorkerPool.map` returns results in payload
+  order regardless of completion order, so callers merge them exactly as
+  a serial loop would.
+* **Graceful degradation** — any pool-infrastructure failure (a worker
+  crash, a pickling problem, fork being unavailable) permanently drops
+  the pool to inline execution; the reason is recorded and surfaced as
+  ``fallback_reason`` in reports/stage timings, mirroring the
+  compiled-engine degradation of :func:`repro.sim.engine.make_simulator`.
+  Task-level :class:`~repro.errors.ReproError`\\ s are *not* pool
+  failures: they propagate unchanged, as they would on any backend.
+* **Accounting** — per-task busy seconds and per-map wall seconds feed
+  the :class:`ParallelReport` worker-utilization numbers shown by the
+  CLI's ``--json`` reports.
+
+``workers`` semantics everywhere in the library: ``1`` means serial
+(no pool), ``0`` means *auto* (one worker per available CPU), ``n > 1``
+means a pool of exactly ``n`` processes. The ``REPRO_WORKERS``
+environment variable supplies the default where a config leaves it
+unset.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.errors import ReproError
+
+
+def available_cpus() -> int:
+    """CPUs this process may use (affinity-aware where supported)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+def default_workers() -> int:
+    """Default worker count: the ``REPRO_WORKERS`` env var, else 1 (serial).
+
+    ``REPRO_WORKERS=auto`` resolves to the machine's CPU count; CI uses
+    ``REPRO_WORKERS=2`` to run whole suites under the pool.
+    """
+    raw = os.environ.get("REPRO_WORKERS", "").strip().lower()
+    if not raw:
+        return 1
+    if raw == "auto":
+        return 0
+    try:
+        value = int(raw)
+    except ValueError:
+        return 1
+    return value if value >= 0 else 1
+
+
+def resolve_workers(workers: int) -> int:
+    """Map the ``workers`` knob to a concrete process count (``0`` = auto)."""
+    if workers == 0:
+        return available_cpus()
+    if workers < 0:
+        raise ReproError(f"workers must be >= 0, got {workers}")
+    return workers
+
+
+@dataclass
+class ParallelReport:
+    """Utilization record of one parallel execution."""
+
+    workers: int
+    tasks: int = 0
+    busy_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    fallback_reason: Optional[str] = None
+    task_seconds: List[float] = field(default_factory=list)
+
+    @property
+    def utilization(self) -> float:
+        """Busy fraction of the pool: Σ task time / (workers × wall time)."""
+        denominator = self.workers * self.wall_seconds
+        if denominator <= 0.0:
+            return 0.0
+        return min(1.0, self.busy_seconds / denominator)
+
+    def to_dict(self) -> dict:
+        payload = {
+            "workers": self.workers,
+            "tasks": self.tasks,
+            "busy_seconds": self.busy_seconds,
+            "wall_seconds": self.wall_seconds,
+            "utilization": self.utilization,
+        }
+        if self.fallback_reason is not None:
+            payload["fallback_reason"] = self.fallback_reason
+        return payload
+
+
+def _timed_call(args):
+    """Module-level worker shim: run ``fn(payload)`` and time it."""
+    fn, payload = args
+    start = time.perf_counter()
+    value = fn(payload)
+    return value, time.perf_counter() - start
+
+
+class WorkerPool:
+    """A lazily created, degradation-aware process pool.
+
+    The executor is created on first :meth:`map` call and reused until
+    :meth:`close` (cheap to keep across the iterations of
+    :func:`~repro.core.algorithm.isolate_design`). After any
+    infrastructure failure the pool is permanently degraded: every
+    subsequent map runs inline, and :attr:`fallback_reason` records why.
+    """
+
+    def __init__(self, workers: int) -> None:
+        self.workers = resolve_workers(workers)
+        self.fallback_reason: Optional[str] = None
+        self.tasks = 0
+        self.busy_seconds = 0.0
+        self.wall_seconds = 0.0
+        self.task_seconds: List[float] = []
+        self._executor = None
+
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """True while tasks are actually dispatched to worker processes."""
+        return self.workers > 1 and self.fallback_reason is None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    def __del__(self) -> None:  # belt and braces for exceptional exits
+        try:
+            self.close()
+        except Exception:  # pragma: no cover - interpreter teardown
+            pass
+
+    # ------------------------------------------------------------------
+    def _pool_map(self, fn: Callable, payloads: Sequence) -> List:
+        """One round through the executor; raises on infrastructure faults."""
+        from concurrent.futures import ProcessPoolExecutor
+        import multiprocessing
+
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=multiprocessing.get_context("fork"),
+            )
+        futures = [
+            self._executor.submit(_timed_call, (fn, payload))
+            for payload in payloads
+        ]
+        return [future.result() for future in futures]
+
+    def _inline_map(self, fn: Callable, payloads: Sequence) -> List:
+        return [_timed_call((fn, payload)) for payload in payloads]
+
+    def map(self, fn: Callable, payloads: Sequence) -> List:
+        """Run ``fn`` over ``payloads``; results come back in payload order.
+
+        ``fn`` must be a module-level function and every payload/result
+        picklable. Pool-infrastructure failures degrade this pool to
+        inline execution for the rest of its life;
+        :class:`~repro.errors.ReproError` raised by a task propagates.
+        """
+        start = time.perf_counter()
+        if not self.active or len(payloads) <= 1:
+            outcomes = self._inline_map(fn, payloads)
+        else:
+            try:
+                outcomes = self._pool_map(fn, payloads)
+            except ReproError:
+                raise
+            except Exception as exc:  # infrastructure failure: degrade
+                self.fallback_reason = (
+                    f"worker pool failed ({type(exc).__name__}: {exc}); "
+                    f"degraded to serial execution"
+                )
+                self.close()
+                outcomes = self._inline_map(fn, payloads)
+        self.wall_seconds += time.perf_counter() - start
+        values = []
+        for value, seconds in outcomes:
+            values.append(value)
+            self.tasks += 1
+            self.busy_seconds += seconds
+            self.task_seconds.append(seconds)
+        return values
+
+    # ------------------------------------------------------------------
+    def report(self) -> ParallelReport:
+        return ParallelReport(
+            workers=self.workers,
+            tasks=self.tasks,
+            busy_seconds=self.busy_seconds,
+            wall_seconds=self.wall_seconds,
+            fallback_reason=self.fallback_reason,
+            task_seconds=list(self.task_seconds),
+        )

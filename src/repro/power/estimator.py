@@ -200,3 +200,81 @@ def estimate_power(
         stimulus, cfg.cycles, monitors=monitors, warmup=cfg.warmup
     )
     return PowerEstimator(library).breakdown(design, monitor)
+
+
+@dataclass
+class PowerInterval:
+    """Cross-replication power estimate with a 95% confidence interval.
+
+    ``half_width_mw`` is ``inf`` for a single replication — an honest
+    "no interval available", never a fake zero width (see
+    :func:`repro.sim.batch.cross_lane_ci`).
+    """
+
+    mean_mw: float
+    half_width_mw: float
+    per_lane_mw: "object"  # numpy array, one entry per replication
+    batch_size: int
+    cycles: int
+    workers: int
+    shards: int
+    fallback_reason: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        payload = {
+            "mean_mw": self.mean_mw,
+            "half_width_mw": self.half_width_mw,
+            "batch_size": self.batch_size,
+            "cycles": self.cycles,
+            "workers": self.workers,
+            "shards": self.shards,
+        }
+        if self.fallback_reason is not None:
+            payload["fallback_reason"] = self.fallback_reason
+        return payload
+
+
+def estimate_power_ci(
+    design: Design,
+    batch_size: int = 32,
+    run: Optional[RunConfig] = None,
+    library: Optional[TechnologyLibrary] = None,
+    stimulus_kwargs: Optional[dict] = None,
+    n_shards: Optional[int] = None,
+) -> PowerInterval:
+    """Monte-Carlo power estimate with an honest cross-replication CI.
+
+    Runs ``batch_size`` independent replications through the sharded
+    batch engine (:func:`repro.parallel.run_batch_sharded`, parallel
+    when ``run.workers > 1``, bit-exact regardless) and converts the
+    per-replication energies into a mean power and 95% half-width.
+    """
+    from repro.parallel.shard import run_batch_sharded
+    from repro.sim.batch import cross_lane_ci
+
+    cfg = run or RunConfig()
+    library = library or default_library()
+    sharded = run_batch_sharded(
+        design,
+        batch_size,
+        cfg.cycles,
+        warmup=cfg.warmup,
+        seed=cfg.seed,
+        workers=cfg.workers,
+        n_shards=n_shards,
+        engine=cfg.engine,
+        stimulus_kwargs=stimulus_kwargs,
+    )
+    energy = PowerEstimator(library).batch_total_energy(design, sharded.stats)
+    lane_power = energy * library.clock_ghz
+    mean, half = cross_lane_ci(lane_power)
+    return PowerInterval(
+        mean_mw=float(mean),
+        half_width_mw=float(half),
+        per_lane_mw=lane_power,
+        batch_size=batch_size,
+        cycles=cfg.cycles,
+        workers=sharded.report.workers,
+        shards=len(sharded.plan),
+        fallback_reason=sharded.report.fallback_reason,
+    )

@@ -15,7 +15,12 @@ config object — with inconsistent names, positions and defaults.
   (the pre-bound kernel backend of :mod:`repro.sim.compile`; bit-exact,
   much faster) or ``"checked"`` (compiled and reference engines run in
   lockstep with periodic cross-comparison; see
-  :mod:`repro.sim.checked`).
+  :mod:`repro.sim.checked`);
+* ``workers`` — process-pool width for the parallel execution layer
+  (:mod:`repro.parallel`): ``1`` = serial, ``0`` = one worker per CPU,
+  ``n > 1`` = a pool of ``n`` processes. Defaults to the
+  ``REPRO_WORKERS`` environment variable (else 1). Serial and parallel
+  runs are bit-exact (see ``docs/parallelism.md``).
 
 Every entry point accepts ``run=RunConfig(...)``; the old per-call
 kwargs keep working as deprecated aliases that emit a
@@ -25,13 +30,21 @@ kwargs keep working as deprecated aliases that emit a
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.errors import ReproError
 
 #: The available simulation backends.
 ENGINES = ("python", "compiled", "checked")
+
+
+def _default_workers() -> int:
+    # Lazy import: repro.parallel pulls in sim/core modules that would
+    # cycle back here if imported at module scope.
+    from repro.parallel.pool import default_workers
+
+    return default_workers()
 
 
 @dataclass(frozen=True)
@@ -55,12 +68,19 @@ class RunConfig:
         lockstep and raises :class:`~repro.errors.EquivalenceError` if
         they ever disagree (differential self-checking at roughly the
         combined cost of the two engines).
+    workers:
+        Process-pool width for candidate scoring / style comparison /
+        sharded batch runs: ``1`` = serial, ``0`` = auto (one worker per
+        CPU), ``n > 1`` = a pool of ``n`` workers. Results are bit-exact
+        across worker counts; pool failures degrade to serial with a
+        recorded ``fallback_reason``.
     """
 
     cycles: int = 2000
     warmup: int = 16
     seed: int = 0
     engine: str = "python"
+    workers: int = field(default_factory=_default_workers)
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -71,6 +91,8 @@ class RunConfig:
             raise ReproError(f"cycles must be >= 0, got {self.cycles}")
         if self.warmup < 0:
             raise ReproError(f"warmup must be >= 0, got {self.warmup}")
+        if self.workers < 0:
+            raise ReproError(f"workers must be >= 0 (0 = auto), got {self.workers}")
 
     def replace(self, **overrides) -> "RunConfig":
         """A copy with the given fields changed."""

@@ -65,6 +65,21 @@ from repro.netlist.traversal import combinational_order
 _MAX_WIDTH = 32
 
 
+def cross_lane_ci(samples: np.ndarray, z: float = 1.96) -> Tuple[float, float]:
+    """(mean, half-width) of a cross-replication confidence interval.
+
+    With fewer than two lanes a cross-lane spread does not exist, so the
+    half-width is ``inf`` — an honest "no interval available" rather
+    than the misleadingly confident zero width (or the NaN that
+    ``std(ddof=1)`` produces on a single sample).
+    """
+    mean = float(samples.mean())
+    if len(samples) < 2:
+        return mean, math.inf
+    half = z * float(samples.std(ddof=1)) / math.sqrt(len(samples))
+    return mean, half
+
+
 def popcount_u64(array: np.ndarray) -> np.ndarray:
     """Element-wise population count of a uint64 array (SWAR)."""
     x = array.copy()
@@ -128,13 +143,12 @@ class BatchToggleMonitor(BatchMonitor):
         return float(self.per_lane_rates(net).mean())
 
     def toggle_rate_ci(self, net: Net, z: float = 1.96) -> Tuple[float, float]:
-        """(mean, half-width) of the cross-replication confidence interval."""
-        rates = self.per_lane_rates(net)
-        mean = float(rates.mean())
-        if len(rates) < 2:
-            return mean, 0.0
-        half = z * float(rates.std(ddof=1)) / math.sqrt(len(rates))
-        return mean, half
+        """(mean, half-width) of the cross-replication confidence interval.
+
+        With ``batch_size == 1`` the half-width is ``inf`` (a single
+        replication carries no cross-lane spread information).
+        """
+        return cross_lane_ci(self.per_lane_rates(net), z)
 
 
 class BatchProbe(BatchMonitor):
@@ -172,12 +186,9 @@ class BatchProbe(BatchMonitor):
         return float(self.per_lane_probabilities().mean())
 
     def probability_ci(self, z: float = 1.96) -> Tuple[float, float]:
-        probabilities = self.per_lane_probabilities()
-        mean = float(probabilities.mean())
-        if len(probabilities) < 2:
-            return mean, 0.0
-        half = z * float(probabilities.std(ddof=1)) / math.sqrt(len(probabilities))
-        return mean, half
+        """Like :meth:`BatchToggleMonitor.toggle_rate_ci`: ``inf`` half-width
+        when a single lane makes the cross-lane interval undefined."""
+        return cross_lane_ci(self.per_lane_probabilities(), z)
 
 
 def _eval_expr_batch(expr, env: Mapping[str, np.ndarray], n: int) -> np.ndarray:

@@ -1,0 +1,167 @@
+"""Property tests of the sharding algebra (hypothesis).
+
+Two algebraic facts make sharded execution order-independent:
+
+* :func:`merge_shard_stats` is associative and commutative — any
+  grouping/order of partial merges yields the same statistics, because
+  the merge canonicalises by shard index;
+* :func:`derive_shard_seed` is injective over practical ``(seed,
+  shard_index)`` domains — no two shards ever share a stimulus stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.parallel import (
+    MergedBatchStats,
+    ShardStats,
+    derive_shard_seed,
+    merge_shard_stats,
+    plan_shards,
+)
+
+NET_NAMES = ("a", "b", "y")
+CYCLES = 40
+PROBE_CYCLES = 39
+
+
+def _shard(index: int, lanes: int, rng: np.random.Generator) -> ShardStats:
+    return ShardStats(
+        shard_index=index,
+        lanes=lanes,
+        cycles=CYCLES,
+        toggle_counts={
+            name: rng.integers(0, CYCLES, size=lanes, dtype=np.uint64)
+            for name in NET_NAMES
+        },
+        probe_true={
+            "en": rng.integers(0, PROBE_CYCLES, size=lanes, dtype=np.int64)
+        },
+        probe_cycles=PROBE_CYCLES,
+    )
+
+
+@st.composite
+def shard_sets(draw):
+    """A list of 2-5 shards with distinct indices and random counters."""
+    n = draw(st.integers(min_value=2, max_value=5))
+    indices = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=31),
+            min_size=n,
+            max_size=n,
+            unique=True,
+        )
+    )
+    lanes = draw(
+        st.lists(st.integers(min_value=1, max_value=4), min_size=n, max_size=n)
+    )
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    rng = np.random.default_rng(seed)
+    return [_shard(i, l, rng) for i, l in zip(indices, lanes)]
+
+
+def _equal(a: MergedBatchStats, b: MergedBatchStats) -> bool:
+    if a.batch_size != b.batch_size or a.cycles != b.cycles:
+        return False
+    if set(a.toggles) != set(b.toggles) or set(a.probe_true) != set(b.probe_true):
+        return False
+    return all(
+        np.array_equal(a.toggles[n], b.toggles[n]) for n in a.toggles
+    ) and all(np.array_equal(a.probe_true[n], b.probe_true[n]) for n in a.probe_true)
+
+
+@settings(max_examples=60, deadline=None)
+@given(shards=shard_sets(), order_seed=st.integers(min_value=0, max_value=2**16))
+def test_merge_commutative(shards, order_seed):
+    shuffled = list(shards)
+    np.random.default_rng(order_seed).shuffle(shuffled)
+    assert _equal(merge_shard_stats(shards), merge_shard_stats(shuffled))
+
+
+@settings(max_examples=60, deadline=None)
+@given(shards=shard_sets(), split=st.integers(min_value=1, max_value=4))
+def test_merge_associative(shards, split):
+    split = min(split, len(shards) - 1)
+    left, right = shards[:split], shards[split:]
+    # (left ⊔ right) == merge of the partial merges, either nesting.
+    flat = merge_shard_stats(shards)
+    nested_lr = merge_shard_stats(merge_shard_stats(left), merge_shard_stats(right))
+    nested_rl = merge_shard_stats(merge_shard_stats(right), merge_shard_stats(left))
+    assert _equal(flat, nested_lr)
+    assert _equal(flat, nested_rl)
+
+
+@settings(max_examples=60, deadline=None)
+@given(shards=shard_sets())
+def test_merge_preserves_totals(shards):
+    merged = merge_shard_stats(shards)
+    assert merged.batch_size == sum(s.lanes for s in shards)
+    for name in NET_NAMES:
+        assert merged.toggles[name].sum() == sum(
+            s.toggle_counts[name].sum() for s in shards
+        )
+
+
+def test_merge_rejects_duplicate_indices():
+    rng = np.random.default_rng(0)
+    with pytest.raises(SimulationError):
+        merge_shard_stats([_shard(3, 2, rng), _shard(3, 2, rng)])
+
+
+def test_merge_rejects_mismatched_cycles():
+    rng = np.random.default_rng(0)
+    a, b = _shard(0, 2, rng), _shard(1, 2, rng)
+    b.cycles += 1
+    with pytest.raises(SimulationError):
+        merge_shard_stats([a, b])
+
+
+# ----------------------------------------------------------------------
+# Seed derivation
+# ----------------------------------------------------------------------
+@settings(max_examples=200, deadline=None)
+@given(
+    pairs=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2**63 - 1),
+            st.integers(min_value=0, max_value=4095),
+        ),
+        min_size=2,
+        max_size=32,
+        unique=True,
+    )
+)
+def test_derive_shard_seed_injective(pairs):
+    derived = [derive_shard_seed(seed, shard) for seed, shard in pairs]
+    assert len(set(derived)) == len(derived)
+    assert all(0 <= s < 2**63 for s in derived)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**63 - 1),
+    shard=st.integers(min_value=0, max_value=4095),
+)
+def test_derive_shard_seed_stable(seed, shard):
+    # Stable across calls (and, by construction, across processes).
+    assert derive_shard_seed(seed, shard) == derive_shard_seed(seed, shard)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    batch_size=st.integers(min_value=1, max_value=64),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    max_lanes=st.integers(min_value=1, max_value=16),
+)
+def test_plan_shards_covers_batch(batch_size, seed, max_lanes):
+    plan = plan_shards(batch_size, seed=seed, max_lanes_per_shard=max_lanes)
+    assert sum(s.lanes for s in plan) == batch_size
+    assert max(s.lanes for s in plan) - min(s.lanes for s in plan) <= 1
+    assert [s.index for s in plan] == list(range(len(plan)))
+    assert len({s.seed for s in plan}) == len(plan)

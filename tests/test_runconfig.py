@@ -163,7 +163,10 @@ class TestStageTimings:
         result = isolate_design(d1, stim, IsolationConfig(cycles=200))
         assert "stages" in result.summary()
         payload = result.to_dict()["timings"]
-        assert set(payload) == {
+        expected = {
             "simulate_s", "score_s", "transform_s", "total_s",
-            "simulations", "engine",
+            "simulations", "engine", "workers",
         }
+        if payload["workers"] > 1:  # REPRO_WORKERS may pool the scoring
+            expected |= {"parallel"}
+        assert set(payload) - {"pool_fallback_reason"} == expected
