@@ -28,6 +28,7 @@ from repro import (
     core,
     designs,
     netlist,
+    obs,
     parallel,
     power,
     sim,
@@ -46,6 +47,7 @@ __all__ = [
     "core",
     "designs",
     "baselines",
+    "obs",
     "parallel",
     "verify",
     "RunConfig",

@@ -24,9 +24,11 @@ bundles them. See ``docs/api.md`` for the full facade map.
 
 from __future__ import annotations
 
+import contextlib
 import copy
 from typing import List, Optional
 
+from repro import obs
 from repro.core.algorithm import (
     IsolationConfig,
     IsolationResult,
@@ -75,7 +77,10 @@ class Session:
         :func:`~repro.power.library.default_library`.
     run:
         Default :class:`RunConfig` for every method; each method also
-        accepts a per-call ``run=`` override.
+        accepts a per-call ``run=`` override. With ``trace=True`` every
+        run records spans and metrics into the session's observability
+        recorder — read them back with :meth:`trace` / :meth:`metrics`
+        or export with :meth:`write_trace`.
     """
 
     def __init__(
@@ -89,10 +94,38 @@ class Session:
         self.library = library or default_library()
         self.run = run or RunConfig()
         self._stimulus = stimulus
+        self._recorder: Optional[obs.Recorder] = None
 
     # ------------------------------------------------------------------
     def _run(self, run: Optional[RunConfig]) -> RunConfig:
         return run if run is not None else self.run
+
+    def _recording(self, run: Optional[RunConfig]):
+        """Context manager activating the session recorder when tracing.
+
+        Traced runs share one recorder, so the session trace accumulates
+        every traced call made through this facade.
+        """
+        if not self._run(run).trace:
+            return contextlib.nullcontext()
+        if self._recorder is None:
+            self._recorder = obs.Recorder()
+        return obs.use(self._recorder)
+
+    # ------------------------------------------------------------------
+    def trace(self) -> List[obs.Span]:
+        """Spans recorded by traced runs (empty before the first one)."""
+        return self._recorder.tracer.roots if self._recorder else []
+
+    def metrics(self) -> obs.MetricsRegistry:
+        """Metrics recorded by traced runs (empty before the first one)."""
+        return self._recorder.metrics if self._recorder else obs.MetricsRegistry()
+
+    def write_trace(self, path: str) -> None:
+        """Export the session trace as Chrome trace-event JSON (Perfetto)."""
+        obs.write_chrome_trace(
+            path, self.trace(), metrics=self.metrics().to_dict()
+        )
 
     def stimulus(self, run: Optional[RunConfig] = None) -> Stimulus:
         """One fresh stimulus per call (identical statistics each time)."""
@@ -134,15 +167,20 @@ class Session:
     ) -> SimulationResult:
         """Run the session's stimulus through the design once."""
         cfg = self._run(run)
-        return make_simulator(self.design, cfg.engine).run(
-            self.stimulus(run), cfg.cycles, monitors=monitors, warmup=cfg.warmup
-        )
+        with self._recording(run):
+            return make_simulator(self.design, cfg.engine).run(
+                self.stimulus(run), cfg.cycles, monitors=monitors, warmup=cfg.warmup
+            )
 
     def estimate(self, run: Optional[RunConfig] = None) -> PowerBreakdown:
         """Power breakdown of the design under the session stimulus."""
-        return estimate_power(
-            self.design, self.stimulus(run), library=self.library, run=self._run(run)
-        )
+        with self._recording(run):
+            return estimate_power(
+                self.design,
+                self.stimulus(run),
+                library=self.library,
+                run=self._run(run),
+            )
 
     def estimate_ci(
         self,
@@ -159,13 +197,14 @@ class Session:
         session seed — the session's own stimulus object, if any, is not
         consulted (the batch engine generates its lanes vectorised).
         """
-        return estimate_power_ci(
-            self.design,
-            batch_size=batch_size,
-            run=self._run(run),
-            library=self.library,
-            stimulus_kwargs=stimulus_kwargs,
-        )
+        with self._recording(run):
+            return estimate_power_ci(
+                self.design,
+                batch_size=batch_size,
+                run=self._run(run),
+                library=self.library,
+                stimulus_kwargs=stimulus_kwargs,
+            )
 
     def isolate(
         self,
@@ -174,12 +213,13 @@ class Session:
         run: Optional[RunConfig] = None,
     ) -> IsolationResult:
         """Run Algorithm 1; returns the full :class:`IsolationResult`."""
-        return isolate_design(
-            self.design,
-            self._stimulus_source(run),
-            self._config(config, style, run),
-            self.library,
-        )
+        with self._recording(run):
+            return isolate_design(
+                self.design,
+                self._stimulus_source(run),
+                self._config(config, style, run),
+                self.library,
+            )
 
     def rank(
         self,
@@ -190,16 +230,17 @@ class Session:
         run: Optional[RunConfig] = None,
     ) -> List[RankedCandidate]:
         """What-if assessment of every candidate, best first."""
-        return rank_candidates(
-            self.design,
-            self.stimulus(run),
-            style=style,
-            weights=weights,
-            library=self.library,
-            clock_period=clock_period,
-            lookahead_depth=lookahead_depth,
-            run=self._run(run),
-        )
+        with self._recording(run):
+            return rank_candidates(
+                self.design,
+                self.stimulus(run),
+                style=style,
+                weights=weights,
+                library=self.library,
+                clock_period=clock_period,
+                lookahead_depth=lookahead_depth,
+                run=self._run(run),
+            )
 
     def compare(
         self,
@@ -208,17 +249,19 @@ class Session:
         run: Optional[RunConfig] = None,
     ) -> StyleComparison:
         """Paper-style table comparing isolation styles."""
-        return compare_styles(
-            self.design,
-            self._stimulus_source(run),
-            self._config(config, None, run),
-            self.library,
-            styles=styles,
-        )
+        with self._recording(run):
+            return compare_styles(
+                self.design,
+                self._stimulus_source(run),
+                self._config(config, None, run),
+                self.library,
+                styles=styles,
+            )
 
     def activation(self) -> ActivationAnalysis:
         """Derived activation functions of every datapath module."""
-        return derive_activation_functions(self.design)
+        with self._recording(None):
+            return derive_activation_functions(self.design)
 
     def validate(self, allow_dangling: bool = False) -> List[Diagnostic]:
         """Structural diagnostics of the design (empty list = healthy).
@@ -228,7 +271,8 @@ class Session:
         report; callers decide whether warnings matter to them
         (``d.severity == "error"`` is the hard-failure subset).
         """
-        return validation_problems(self.design, allow_dangling=allow_dangling)
+        with self._recording(None):
+            return validation_problems(self.design, allow_dangling=allow_dangling)
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

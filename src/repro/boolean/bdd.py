@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Mapping, Optional, Tuple
 
+from repro import obs
 from repro.boolean.expr import And, Const, Expr, Not, Or, Var
 from repro.errors import BooleanError, BudgetExceededError
 
@@ -90,6 +91,7 @@ class BddManager:
         node = self._unique.get(key)
         if node is None:
             if self.max_nodes is not None and len(self._nodes) >= self.max_nodes:
+                obs.counter("bdd.budget_hits").inc()
                 raise BudgetExceededError(
                     f"BDD node budget exhausted: {len(self._nodes)} nodes "
                     f"(budget {self.max_nodes}); use a larger budget or an "
@@ -173,10 +175,14 @@ class BddManager:
 
     def equivalent(self, a: Expr, b: Expr) -> bool:
         """Canonical equivalence check of two expressions."""
-        return self.from_expr(a) == self.from_expr(b)
+        result = self.from_expr(a) == self.from_expr(b)
+        obs.gauge("bdd.nodes").set(len(self._nodes))
+        return result
 
     def is_tautology(self, expr: Expr) -> bool:
-        return self.from_expr(expr) == self.TRUE
+        result = self.from_expr(expr) == self.TRUE
+        obs.gauge("bdd.nodes").set(len(self._nodes))
+        return result
 
     def is_contradiction(self, expr: Expr) -> bool:
         return self.from_expr(expr) == self.FALSE

@@ -24,6 +24,7 @@ from __future__ import annotations
 import warnings
 from typing import Mapping, Optional, Tuple
 
+from repro import obs
 from repro.boolean.bdd import BddManager
 from repro.boolean.expr import And, Const, Expr, Not, Or, Var
 from repro.boolean.factored import factor
@@ -108,6 +109,7 @@ def signal_probability(
     try:
         return manager.expr_probability(expr, probs or {})
     except BudgetExceededError as exc:
+        obs.counter("bdd.probability_fallbacks").inc()
         low, high = probability_bounds(expr, probs)
         warnings.warn(
             f"signal_probability fell back to interval bounds "

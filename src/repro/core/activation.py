@@ -36,6 +36,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro import obs
 from repro.boolean.expr import TRUE, Expr, and_, not_, or_, var
 from repro.boolean.simplify import simplify
 from repro.errors import IsolationError
@@ -209,21 +210,28 @@ def derive_activation_functions(
     implemented in :mod:`repro.core.lookahead`); without it every
     register uses ``f_r⁺ = 1``.
     """
-    deriver = _ActivationDeriver(design, register_lookahead)
-    analysis = ActivationAnalysis(design=design)
-    for module in design.datapath_modules:
-        for pin in module.output_pins:
-            expr = deriver.net_function(pin.net)
-            combined = analysis.module_functions.get(module)
-            expr = expr if combined is None else or_(combined, expr)
-            analysis.module_functions[module] = expr
-        if simplified:
-            analysis.module_functions[module] = simplify(
-                analysis.module_functions[module]
-            )
-    # Register outputs' activation functions feed the look-ahead extension.
-    for register in design.registers:
-        deriver.net_function(register.net("Q"))
-    for net, expr in deriver._memo.items():
-        analysis.net_functions[net] = simplify(expr) if simplified else expr
-    return analysis
+    with obs.span(
+        "activation",
+        "stage",
+        design=design.name,
+        modules=len(design.datapath_modules),
+    ) as span:
+        deriver = _ActivationDeriver(design, register_lookahead)
+        analysis = ActivationAnalysis(design=design)
+        for module in design.datapath_modules:
+            for pin in module.output_pins:
+                expr = deriver.net_function(pin.net)
+                combined = analysis.module_functions.get(module)
+                expr = expr if combined is None else or_(combined, expr)
+                analysis.module_functions[module] = expr
+            if simplified:
+                analysis.module_functions[module] = simplify(
+                    analysis.module_functions[module]
+                )
+        # Register outputs' activation functions feed the look-ahead extension.
+        for register in design.registers:
+            deriver.net_function(register.net("Q"))
+        for net, expr in deriver._memo.items():
+            analysis.net_functions[net] = simplify(expr) if simplified else expr
+        span.set(nets=len(analysis.net_functions))
+        return analysis

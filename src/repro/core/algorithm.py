@@ -26,6 +26,7 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Set, Union
 
+from repro import obs
 from repro.core.activation import derive_activation_functions
 from repro.core.candidates import IsolationCandidate, find_candidates
 from repro.core.cost import CandidateCost, CostModel, CostWeights
@@ -212,6 +213,33 @@ class StageTimings:
             payload["pool_fallback_reason"] = self.pool_fallback_reason
         return payload
 
+    @classmethod
+    def from_spans(cls, spans) -> "StageTimings":
+        """Derive stage timings from a recorded span forest.
+
+        The span tree is the primary record when tracing is on; this is
+        the backward-compatible flat view: ``simulate_s`` sums the
+        ``power.estimate`` spans, ``transform_s`` the ``bank.insert``
+        spans, and ``score_s`` is the remainder of the ``isolate`` span —
+        the same decomposition the accumulating counters produce.
+        """
+        isolate = obs.find_spans(spans, "isolate")
+        estimates = obs.find_spans(spans, "power.estimate")
+        transforms = obs.find_spans(spans, "bank.insert")
+        timings = cls(
+            simulate_s=sum(s.duration_s for s in estimates),
+            transform_s=sum(s.duration_s for s in transforms),
+            simulations=len(estimates),
+        )
+        if isolate:
+            root = isolate[0]
+            timings.engine = str(root.attrs.get("engine", timings.engine))
+            timings.workers = int(root.attrs.get("workers", timings.workers))
+            timings.score_s = max(
+                0.0, root.duration_s - timings.simulate_s - timings.transform_s
+            )
+        return timings
+
 
 @dataclass
 class IterationRecord:
@@ -355,15 +383,23 @@ def _measure_power(
     extra_monitors: Optional[list] = None,
     timings: Optional[StageTimings] = None,
 ) -> float:
-    monitor = ToggleMonitor()
-    monitors = [monitor] + list(extra_monitors or [])
-    simulator = make_simulator(design, config.engine)
-    if timings is not None and simulator.fallback_reason is not None:
-        timings.fallback_reason = simulator.fallback_reason
-    simulator.run(
-        _stimulus_of(source), config.cycles, monitors=monitors, warmup=config.warmup
-    )
-    breakdown = PowerEstimator(library).breakdown(design, monitor)
+    with obs.span(
+        "power.estimate",
+        "sim",
+        design=design.name,
+        engine=config.engine,
+        cycles=config.cycles,
+    ) as span:
+        monitor = ToggleMonitor()
+        monitors = [monitor] + list(extra_monitors or [])
+        simulator = make_simulator(design, config.engine)
+        if timings is not None and simulator.fallback_reason is not None:
+            timings.fallback_reason = simulator.fallback_reason
+        simulator.run(
+            _stimulus_of(source), config.cycles, monitors=monitors, warmup=config.warmup
+        )
+        breakdown = PowerEstimator(library).breakdown(design, monitor)
+        span.set(power_mw=breakdown.total_power_mw)
     return breakdown.total_power_mw, monitor
 
 
@@ -393,6 +429,7 @@ def isolate_design(
             defaults=RunConfig(
                 cycles=config.cycles, warmup=config.warmup, engine=config.engine
             ),
+            stacklevel=3,
             engine=engine,
             cycles=cycles,
             warmup=warmup,
@@ -405,9 +442,29 @@ def isolate_design(
     # Worker pool for the per-candidate scoring stage (repro.parallel).
     # Imported lazily to avoid a core <-> parallel import cycle.
     from repro.parallel.pool import WorkerPool
-    from repro.parallel.scoring import score_candidates
 
     pool = WorkerPool(config.workers)
+
+    with obs.span(
+        "isolate",
+        "stage",
+        design=design.name,
+        style=config.style,
+        engine=config.engine,
+        workers=pool.workers,
+    ):
+        return _run_isolation(design, stimulus, config, library, pool)
+
+
+def _run_isolation(
+    design: Design,
+    stimulus: StimulusSource,
+    config: IsolationConfig,
+    library: TechnologyLibrary,
+    pool,
+) -> IsolationResult:
+    """The traced body of Algorithm 1 (see :func:`isolate_design`)."""
+    from repro.parallel.scoring import score_candidates
 
     working = design.copy(f"{design.name}_iso_{config.style}")
 
@@ -456,119 +513,142 @@ def isolate_design(
 
     # --- Main loop (Algorithm 1, lines 13–31) -------------------------
     for index in range(config.max_iterations):
-        iteration_start = time.perf_counter()
-        simulate_before = timings.simulate_s
-        transform_before = timings.transform_s
-        blocks = partition_blocks(working)
-        if config.lookahead_depth > 0:
-            from repro.core.lookahead import derive_with_lookahead
+        with obs.span("isolate.iteration", "stage", index=index) as iteration_span:
+            iteration_start = time.perf_counter()
+            simulate_before = timings.simulate_s
+            transform_before = timings.transform_s
+            blocks = partition_blocks(working)
+            if config.lookahead_depth > 0:
+                from repro.core.lookahead import derive_with_lookahead
 
-            analysis = derive_with_lookahead(working, depth=config.lookahead_depth)
-        else:
-            analysis = derive_activation_functions(working)
-        candidates = find_candidates(working, analysis, blocks)
-
-        # Prune candidates whose activation function is a tautology —
-        # syntactically (f ≡ 1) or semantically (e.g. the OR of a full
-        # mux-select decode): isolation could never block anything.
-        from repro.boolean.bdd import BddManager
-
-        tautology_check = BddManager()
-        eligible: List[IsolationCandidate] = [
-            c
-            for c in candidates
-            if not c.isolated
-            and c.name not in rejected
-            and not c.always_active
-            and not tautology_check.is_tautology(c.activation)
-        ]
-
-        # Slack rejection (lines 5–10; re-checked per iteration because
-        # earlier isolations change arrival times). With style "auto" a
-        # candidate survives if ANY style meets timing; the per-candidate
-        # style choice below only considers the surviving styles.
-        styles = ["and", "or", "latch"] if config.style == "auto" else [config.style]
-        record = IterationRecord(index=index, total_power_mw=0.0)
-        timing = analyze_timing(working, library, clock_period=period)
-        slack_ok: List[IsolationCandidate] = []
-        allowed_styles: Dict[str, List[str]] = {}
-        for c in eligible:
-            passing = []
-            for style in styles:
-                impact = estimate_isolation_impact(
-                    working, c.cell, c.activation, style, library, timing
-                )
-                if not impact.violates(config.slack_threshold):
-                    passing.append(style)
-            if passing:
-                slack_ok.append(c)
-                allowed_styles[c.name] = passing
+                analysis = derive_with_lookahead(working, depth=config.lookahead_depth)
             else:
-                rejected.add(c.name)
-                record.rejected_slack.append(c.name)
-        if not slack_ok:
+                analysis = derive_activation_functions(working)
+            candidates = find_candidates(working, analysis, blocks)
+
+            # Prune candidates whose activation function is a tautology —
+            # syntactically (f ≡ 1) or semantically (e.g. the OR of a full
+            # mux-select decode): isolation could never block anything.
+            from repro.boolean.bdd import BddManager
+
+            tautology_check = BddManager()
+            eligible: List[IsolationCandidate] = []
+            for c in candidates:
+                if c.isolated or c.name in rejected:
+                    continue
+                if c.always_active:
+                    obs.counter("candidates.rejected", reason="always_active").inc()
+                    continue
+                if tautology_check.is_tautology(c.activation):
+                    obs.counter("candidates.rejected", reason="tautology").inc()
+                    continue
+                eligible.append(c)
+
+            # Slack rejection (lines 5–10; re-checked per iteration because
+            # earlier isolations change arrival times). With style "auto" a
+            # candidate survives if ANY style meets timing; the per-candidate
+            # style choice below only considers the surviving styles.
+            styles = ["and", "or", "latch"] if config.style == "auto" else [config.style]
+            record = IterationRecord(index=index, total_power_mw=0.0)
+            with obs.span("slack.check", "stage", candidates=len(eligible)):
+                timing = analyze_timing(working, library, clock_period=period)
+                slack_ok: List[IsolationCandidate] = []
+                allowed_styles: Dict[str, List[str]] = {}
+                for c in eligible:
+                    passing = []
+                    for style in styles:
+                        impact = estimate_isolation_impact(
+                            working, c.cell, c.activation, style, library, timing
+                        )
+                        if not impact.violates(config.slack_threshold):
+                            passing.append(style)
+                    if passing:
+                        slack_ok.append(c)
+                        allowed_styles[c.name] = passing
+                    else:
+                        rejected.add(c.name)
+                        record.rejected_slack.append(c.name)
+                        obs.counter("candidates.rejected", reason="slack").inc()
+            if not slack_ok:
+                result.iterations.append(record)
+                settle_score()
+                break
+
+            # estimate_power + signal statistics (line 16): one simulation.
+            savings_model = SavingsModel(working, candidates, library)
+            total_power, monitor = timed_measure(
+                working, stimulus, config, library, extra_monitors=[savings_model.probes]
+            )
+            savings_model.calibrate(monitor)
+            record.total_power_mw = total_power
+
+            cost_model = CostModel(
+                savings_model,
+                library,
+                total_power_mw=total_power,
+                total_area=library.total_area(working),
+                weights=config.weights,
+            )
+
+            # Score every surviving (candidate, style) pair — serially or on
+            # the worker pool; both paths are bit-identical (repro.parallel).
+            evaluated = score_candidates(
+                cost_model,
+                [(c.name, style) for c in slack_ok for style in allowed_styles[c.name]],
+                refined=config.refined_savings,
+                pool=pool,
+            )
+
+            # Per block: isolate the best candidate clearing h_min (lines 17–29).
+            performed = False
+            for block in blocks:
+                block_candidates = [
+                    c for c in slack_ok if c.block.index == block.index
+                ]
+                if not block_candidates:
+                    continue
+                scores = []
+                for c in block_candidates:
+                    best_for_candidate = None
+                    for style in allowed_styles[c.name]:
+                        score = evaluated[(c.name, style)]
+                        if best_for_candidate is None or score.h > best_for_candidate.h:
+                            best_for_candidate = score
+                    scores.append(best_for_candidate)
+                record.scores.extend(scores)
+                best = max(scores, key=lambda s: s.h)
+                if best.h >= config.weights.h_min:
+                    transform_start = time.perf_counter()
+                    with obs.span(
+                        "bank.insert",
+                        "transform",
+                        candidate=best.candidate.name,
+                        style=best.savings.style,
+                        block=block.index,
+                    ):
+                        instance = isolate_candidate(
+                            working, best.candidate.cell, best.candidate.activation,
+                            style=best.savings.style,
+                        )
+                    timings.transform_s += time.perf_counter() - transform_start
+                    result.instances.append(instance)
+                    record.isolated.append(best.candidate.name)
+                    obs.counter(
+                        "candidates.isolated", style=best.savings.style
+                    ).inc()
+                    performed = True
+                else:
+                    obs.counter("candidates.rejected", reason="below_h_min").inc()
+
             result.iterations.append(record)
+            iteration_span.set(
+                isolated=len(record.isolated),
+                rejected_slack=len(record.rejected_slack),
+                measured_power_mw=record.total_power_mw,
+            )
             settle_score()
-            break
-
-        # estimate_power + signal statistics (line 16): one simulation.
-        savings_model = SavingsModel(working, candidates, library)
-        total_power, monitor = timed_measure(
-            working, stimulus, config, library, extra_monitors=[savings_model.probes]
-        )
-        savings_model.calibrate(monitor)
-        record.total_power_mw = total_power
-
-        cost_model = CostModel(
-            savings_model,
-            library,
-            total_power_mw=total_power,
-            total_area=library.total_area(working),
-            weights=config.weights,
-        )
-
-        # Score every surviving (candidate, style) pair — serially or on
-        # the worker pool; both paths are bit-identical (repro.parallel).
-        evaluated = score_candidates(
-            cost_model,
-            [(c.name, style) for c in slack_ok for style in allowed_styles[c.name]],
-            refined=config.refined_savings,
-            pool=pool,
-        )
-
-        # Per block: isolate the best candidate clearing h_min (lines 17–29).
-        performed = False
-        for block in blocks:
-            block_candidates = [
-                c for c in slack_ok if c.block.index == block.index
-            ]
-            if not block_candidates:
-                continue
-            scores = []
-            for c in block_candidates:
-                best_for_candidate = None
-                for style in allowed_styles[c.name]:
-                    score = evaluated[(c.name, style)]
-                    if best_for_candidate is None or score.h > best_for_candidate.h:
-                        best_for_candidate = score
-                scores.append(best_for_candidate)
-            record.scores.extend(scores)
-            best = max(scores, key=lambda s: s.h)
-            if best.h >= config.weights.h_min:
-                transform_start = time.perf_counter()
-                instance = isolate_candidate(
-                    working, best.candidate.cell, best.candidate.activation,
-                    style=best.savings.style,
-                )
-                timings.transform_s += time.perf_counter() - transform_start
-                result.instances.append(instance)
-                record.isolated.append(best.candidate.name)
-                performed = True
-
-        result.iterations.append(record)
-        settle_score()
-        if not performed:
-            break
+            if not performed:
+                break
 
     # --- Final metrics -------------------------------------------------
     final_power, _ = timed_measure(working, stimulus, config, library)
@@ -581,10 +661,12 @@ def isolate_design(
     )
 
     # Fold the pool's utilization accounting into the stage timings.
+    # Close *before* reporting so a failing shutdown (recorded into
+    # fallback_reason by WorkerPool.close) is visible in the timings.
+    pool.close()
     pool_report = pool.report()
     timings.parallel_tasks = pool_report.tasks
     timings.parallel_busy_s = pool_report.busy_seconds
     timings.parallel_wall_s = pool_report.wall_seconds
     timings.pool_fallback_reason = pool_report.fallback_reason
-    pool.close()
     return result

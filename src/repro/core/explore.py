@@ -124,6 +124,7 @@ def rank_candidates(
     cfg = resolve_run_config(
         run,
         defaults=RunConfig(cycles=2000, warmup=16),
+        stacklevel=3,
         engine=engine,
         cycles=cycles,
     )

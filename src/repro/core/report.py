@@ -83,6 +83,7 @@ def compare_styles(
                 warmup=base_config.warmup,
                 engine=base_config.engine,
             ),
+            stacklevel=3,
             engine=engine,
             cycles=cycles,
             warmup=warmup,

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List
 
+from repro import obs
 from repro.errors import NetlistError
 from repro.netlist.arith import (
     Adder,
@@ -191,6 +192,13 @@ def dumps(design: Design) -> str:
 
 def loads(text: str) -> Design:
     """Parse the textual format back into a :class:`Design`."""
+    with obs.span("netlist.parse", "parse", bytes=len(text)) as span:
+        design = _loads(text)
+        span.set(design=design.name, cells=len(design.cells))
+    return design
+
+
+def _loads(text: str) -> Design:
     design: Design = None  # type: ignore[assignment]
     for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.split("#", 1)[0].strip()

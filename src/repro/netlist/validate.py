@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import List
 
+from repro import obs
 from repro.diagnostics import Diagnostic
 from repro.errors import ValidationError
 from repro.netlist.design import Design
@@ -35,6 +36,15 @@ def validation_problems(
     design: Design, allow_dangling: bool = False
 ) -> List[Diagnostic]:
     """Collect a :class:`Diagnostic` for every structural problem."""
+    with obs.span("netlist.validate", "parse", design=design.name) as span:
+        problems = _validation_problems(design, allow_dangling)
+        span.set(problems=len(problems))
+    return problems
+
+
+def _validation_problems(
+    design: Design, allow_dangling: bool = False
+) -> List[Diagnostic]:
     problems: List[Diagnostic] = []
     for cell in design.cells:
         for spec in cell.port_specs():

@@ -1,0 +1,280 @@
+"""repro.obs — zero-dependency tracing + metrics for the whole pipeline.
+
+One module-level *recorder* is current at any time. By default it is the
+:data:`NULL` recorder: every facade call (``obs.span``, ``obs.counter``,
+...) then resolves to a cached no-op object, so instrumented call sites
+cost a function call and one branch — nothing is allocated, timed or
+stored. The committed benchmark (``benchmarks/test_perf_obs.py``) pins
+this at <2% overhead on ``isolate_design``.
+
+Enabling observability swaps in an active :class:`Recorder` bundling a
+:class:`~repro.obs.trace.Tracer` (nested spans) and a
+:class:`~repro.obs.metrics.MetricsRegistry` (counters/gauges/
+histograms)::
+
+    from repro import obs
+
+    with obs.use(obs.Recorder()) as rec:
+        result = isolate_design(design, stimulus)
+    obs.write_chrome_trace("out.json", rec.tracer.roots,
+                           metrics=rec.metrics.to_dict())
+
+Higher layers wrap this for you: ``RunConfig(trace=True)``,
+``Session.trace()`` / ``Session.metrics()``, the ``repro profile``
+subcommand and ``--trace FILE`` on every CLI subcommand. Worker
+processes get their own recorder per task; finished spans and metric
+snapshots ride back with the task result and are merged
+deterministically (task order, not completion order) by the pool.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Optional
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .trace import (
+    MAIN_TRACK,
+    Span,
+    Tracer,
+    aggregate_spans,
+    chrome_trace,
+    chrome_trace_events,
+    find_spans,
+    iter_spans,
+    read_chrome_trace,
+    span_shape,
+    spans_from_dicts,
+    spans_to_dicts,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "Recorder",
+    "NULL",
+    "current",
+    "enabled",
+    "use",
+    "enable",
+    "disable",
+    "span",
+    "counter",
+    "gauge",
+    "histogram",
+    "current_span",
+    # re-exports
+    "Span",
+    "Tracer",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MAIN_TRACK",
+    "spans_to_dicts",
+    "spans_from_dicts",
+    "span_shape",
+    "iter_spans",
+    "find_spans",
+    "aggregate_spans",
+    "chrome_trace",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "read_chrome_trace",
+]
+
+
+class Recorder:
+    """An active recorder: one tracer + one metrics registry."""
+
+    enabled = True
+
+    def __init__(self, track: str = MAIN_TRACK) -> None:
+        self.tracer = Tracer(track=track)
+        self.metrics = MetricsRegistry()
+
+    # Tracing ----------------------------------------------------------
+    def span(self, name: str, category: str = "", **attrs: object):
+        return self.tracer.span(name, category, **attrs)
+
+    @property
+    def current_span(self) -> Optional[Span]:
+        return self.tracer.current
+
+    # Metrics ----------------------------------------------------------
+    def counter(self, name: str, **labels: object) -> Counter:
+        return self.metrics.counter(name, **labels)
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return self.metrics.gauge(name, **labels)
+
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        return self.metrics.histogram(name, **labels)
+
+    # Worker exchange --------------------------------------------------
+    def trace_payload(self) -> list:
+        """Finished spans as picklable dicts (worker -> parent)."""
+        return spans_to_dicts(self.tracer.roots)
+
+    def absorb(
+        self,
+        trace_payload,
+        metrics: Optional[MetricsRegistry],
+        track: Optional[str] = None,
+    ) -> None:
+        """Merge one worker task's recording under the current span."""
+        if trace_payload:
+            self.tracer.adopt(trace_payload, track=track)
+        if metrics is not None:
+            self.metrics.merge(metrics)
+
+
+class _NullSpan:
+    """Cached stand-in for a Span when recording is off."""
+
+    __slots__ = ()
+
+    name = ""
+    category = ""
+    start_ns = 0
+    end_ns = 0
+    duration_ns = 0
+    duration_s = 0.0
+    track = MAIN_TRACK
+
+    @property
+    def attrs(self) -> dict:
+        return {}
+
+    @property
+    def children(self) -> list:
+        return []
+
+    def set(self, **attrs: object) -> "_NullSpan":
+        return self
+
+    def walk(self):
+        return iter(())
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+class _NullInstrument:
+    """Cached stand-in for Counter/Gauge/Histogram when recording is off."""
+
+    __slots__ = ()
+
+    value = 0.0
+    count = 0
+    sum = 0.0
+    mean = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def snapshot(self) -> float:
+        return 0.0
+
+
+class _NullRecorder:
+    """The disabled recorder: every call returns a shared no-op object."""
+
+    enabled = False
+    current_span = None
+
+    __slots__ = ()
+
+    _SPAN = _NullSpan()
+    _INSTRUMENT = _NullInstrument()
+
+    def span(self, name: str, category: str = "", **attrs: object) -> _NullSpan:
+        return self._SPAN
+
+    def counter(self, name: str, **labels: object) -> _NullInstrument:
+        return self._INSTRUMENT
+
+    def gauge(self, name: str, **labels: object) -> _NullInstrument:
+        return self._INSTRUMENT
+
+    def histogram(self, name: str, **labels: object) -> _NullInstrument:
+        return self._INSTRUMENT
+
+    def trace_payload(self) -> list:
+        return []
+
+    def absorb(self, trace_payload, metrics, track=None) -> None:
+        pass
+
+
+#: The shared disabled recorder (the default).
+NULL = _NullRecorder()
+
+_current = NULL
+
+
+def current() -> Recorder:
+    """The recorder instrumentation calls resolve against right now."""
+    return _current
+
+
+def enabled() -> bool:
+    """True when an active (non-null) recorder is installed."""
+    return _current.enabled
+
+
+def span(name: str, category: str = "", **attrs: object):
+    """Open a span on the current recorder (no-op context when disabled)."""
+    return _current.span(name, category, **attrs)
+
+
+def counter(name: str, **labels: object):
+    return _current.counter(name, **labels)
+
+
+def gauge(name: str, **labels: object):
+    return _current.gauge(name, **labels)
+
+
+def histogram(name: str, **labels: object):
+    return _current.histogram(name, **labels)
+
+
+def current_span() -> Optional[Span]:
+    return _current.current_span
+
+
+@contextlib.contextmanager
+def use(recorder: Recorder) -> Iterator[Recorder]:
+    """Install ``recorder`` for the duration of the block."""
+    global _current
+    previous = _current
+    _current = recorder
+    try:
+        yield recorder
+    finally:
+        _current = previous
+
+
+def enable(track: str = MAIN_TRACK) -> Recorder:
+    """Install (and return) a fresh active recorder until :func:`disable`."""
+    global _current
+    _current = Recorder(track=track)
+    return _current
+
+
+def disable() -> None:
+    """Reinstall the no-op recorder."""
+    global _current
+    _current = NULL

@@ -1,0 +1,260 @@
+"""Zero-dependency metrics: counters, gauges and histograms with labels.
+
+The :class:`MetricsRegistry` is the numeric companion of the tracer: it
+accumulates *what happened and how much* (BDD nodes grown, program-cache
+hits, pool tasks dispatched, candidates accepted/rejected by reason,
+per-module toggle rates...) where spans record *when and for how long*.
+
+Three instrument kinds, Prometheus-flavoured:
+
+* :class:`Counter` — monotone ``inc``; merged across processes by sum;
+* :class:`Gauge` — last-write-wins ``set`` (plus ``inc`` for levels);
+* :class:`Histogram` — fixed-bound buckets with count/sum/min/max.
+
+Instruments are keyed by ``(name, labels)``; labels are plain keyword
+pairs (``registry.counter("candidates", reason="slack")``). Exports:
+:meth:`MetricsRegistry.to_dict` (flat JSON) and
+:meth:`MetricsRegistry.prometheus_text` (text exposition format).
+Worker processes return ``to_dict()`` payloads which the parent folds in
+with :meth:`MetricsRegistry.merge` — counter/histogram addition is
+commutative, so the merged registry is order-independent.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Default histogram bucket upper bounds (seconds-flavoured, log-spaced).
+DEFAULT_BUCKETS = (
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    10.0,
+)
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, object]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _label_text(labels: LabelKey) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return "{" + inner + "}"
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        self.value += amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """A value that goes up and down; ``set`` is last-write-wins."""
+
+    __slots__ = ("value",)
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Fixed-bucket distribution with count/sum/min/max."""
+
+    __slots__ = ("bounds", "bucket_counts", "count", "sum", "min", "max")
+    kind = "histogram"
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        self.bounds = tuple(sorted(bounds))
+        self.bucket_counts = [0] * (len(self.bounds) + 1)  # +inf bucket
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        payload = {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "buckets": {
+                ("+Inf" if index == len(self.bounds) else repr(bound)): count
+                for index, (bound, count) in enumerate(
+                    list(zip(self.bounds, self.bucket_counts))
+                    + [(math.inf, self.bucket_counts[-1])]
+                )
+            },
+        }
+        if self.count:
+            payload["min"] = self.min
+            payload["max"] = self.max
+        return payload
+
+
+class MetricsRegistry:
+    """All instruments of one recorder, keyed by (name, labels)."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[Tuple[str, LabelKey], object] = {}
+
+    # ------------------------------------------------------------------
+    def _get(self, factory, name: str, labels: Dict[str, object]):
+        key = (name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[key] = instrument
+        elif not isinstance(instrument, factory if isinstance(factory, type) else type(instrument)):
+            raise TypeError(
+                f"metric {name!r} already registered as {instrument.kind}"
+            )
+        return instrument
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    # ------------------------------------------------------------------
+    def value(self, name: str, **labels: object):
+        """Snapshot of one instrument, or ``None`` when never recorded."""
+        instrument = self._instruments.get((name, _label_key(labels)))
+        return None if instrument is None else instrument.snapshot()
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __iter__(self):
+        for (name, labels), instrument in sorted(self._instruments.items()):
+            yield name, dict(labels), instrument
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Flat JSON dump: ``{"name{label=\"v\"}": snapshot}`` plus kinds."""
+        payload: Dict[str, dict] = {}
+        for name, labels, instrument in self:
+            flat = name + _label_text(_label_key(labels))
+            payload[flat] = {
+                "kind": instrument.kind,
+                "value": instrument.snapshot(),
+            }
+        return payload
+
+    def prometheus_text(self) -> str:
+        """Prometheus text exposition format (one ``# TYPE`` per family)."""
+        lines: List[str] = []
+        seen_families = set()
+        for name, labels, instrument in self:
+            family = name.replace(".", "_")
+            if family not in seen_families:
+                seen_families.add(family)
+                lines.append(f"# TYPE {family} {instrument.kind}")
+            label_text = _label_text(_label_key(labels))
+            if isinstance(instrument, Histogram):
+                cumulative = 0
+                for bound, count in zip(
+                    list(instrument.bounds) + [math.inf],
+                    instrument.bucket_counts,
+                ):
+                    cumulative += count
+                    le = "+Inf" if math.isinf(bound) else repr(bound)
+                    bucket_labels = _label_key(dict(labels, le=le))
+                    lines.append(
+                        f"{family}_bucket{_label_text(bucket_labels)} {cumulative}"
+                    )
+                lines.append(f"{family}_sum{label_text} {instrument.sum}")
+                lines.append(f"{family}_count{label_text} {instrument.count}")
+            else:
+                lines.append(f"{family}{label_text} {instrument.snapshot()}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry in: counters/histograms add, gauges win.
+
+        Counter and histogram merging is commutative and associative, so
+        folding worker registries in task order (or any order) yields the
+        same totals.
+        """
+        for key, instrument in other._instruments.items():
+            name, labels = key
+            mine = self._instruments.get(key)
+            if mine is None:
+                if isinstance(instrument, Counter):
+                    mine = self._get(Counter, name, dict(labels))
+                elif isinstance(instrument, Gauge):
+                    mine = self._get(Gauge, name, dict(labels))
+                else:
+                    mine = self._get(
+                        lambda b=instrument.bounds: Histogram(b), name, dict(labels)
+                    )
+            if isinstance(instrument, Counter):
+                mine.value += instrument.value
+            elif isinstance(instrument, Gauge):
+                mine.value = instrument.value
+            else:
+                if mine.bounds != instrument.bounds:
+                    raise ValueError(
+                        f"histogram {name!r} bucket bounds differ in merge"
+                    )
+                mine.count += instrument.count
+                mine.sum += instrument.sum
+                mine.min = min(mine.min, instrument.min)
+                mine.max = max(mine.max, instrument.max)
+                mine.bucket_counts = [
+                    a + b
+                    for a, b in zip(mine.bucket_counts, instrument.bucket_counts)
+                ]

@@ -1,0 +1,357 @@
+"""Structured tracing: nested spans with wall-clock-free timestamps.
+
+A **span** is one timed region of the pipeline — a netlist parse, an
+activation derivation, the scoring of one candidate, one pool task. Spans
+nest: the :class:`Tracer` keeps a stack, so a span opened while another
+is running becomes its child, and the finished run is a forest of span
+trees mirroring the pipeline's call structure.
+
+Timestamps come from :func:`time.perf_counter_ns` — monotonic,
+nanosecond-resolution, and (on Linux, where worker processes are forked)
+sharing one epoch across the pool, so worker-side spans line up with the
+parent's timeline without clock translation.
+
+Two serialisations are provided:
+
+* :func:`spans_to_dicts` / :func:`spans_from_dicts` — the lossless,
+  picklable exchange format worker processes ship their spans back in
+  (see :meth:`Tracer.adopt` for the deterministic merge);
+* :func:`chrome_trace_events` / :func:`write_chrome_trace` /
+  :func:`read_chrome_trace` — the Chrome trace-event JSON format, which
+  loads directly in Perfetto (https://ui.perfetto.dev) and
+  ``chrome://tracing``. Timestamps are exported as fractional
+  microseconds carrying full nanosecond precision, so an exported trace
+  reloads to the *identical* span tree (round-trip tested).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+#: Default track label for spans recorded by the parent process.
+MAIN_TRACK = "main"
+
+
+@dataclass
+class Span:
+    """One timed, attributed region; ``children`` are fully contained."""
+
+    name: str
+    category: str = ""
+    start_ns: int = 0
+    end_ns: int = 0
+    attrs: Dict[str, object] = field(default_factory=dict)
+    children: List["Span"] = field(default_factory=list)
+    track: str = MAIN_TRACK
+
+    @property
+    def duration_ns(self) -> int:
+        return max(0, self.end_ns - self.start_ns)
+
+    @property
+    def duration_s(self) -> float:
+        return self.duration_ns / 1e9
+
+    def set(self, **attrs: object) -> "Span":
+        """Attach/overwrite attributes mid-span; returns the span."""
+        self.attrs.update(attrs)
+        return self
+
+    def walk(self):
+        """Yield this span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+class _SpanHandle:
+    """Context manager closing one span on exit (reused by ``Tracer.span``)."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        return self.span
+
+    def __exit__(self, *exc_info) -> None:
+        self._tracer.end(self.span)
+
+
+class Tracer:
+    """Records a forest of nested spans via a span stack.
+
+    Not thread-safe by design: one tracer per recorder per process; the
+    pool exchanges *finished* spans (plain dicts), never live tracers.
+    """
+
+    def __init__(self, track: str = MAIN_TRACK) -> None:
+        self.track = track
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    # ------------------------------------------------------------------
+    def start(self, name: str, category: str = "", **attrs: object) -> Span:
+        span = Span(
+            name=name,
+            category=category,
+            start_ns=time.perf_counter_ns(),
+            attrs=dict(attrs),
+            track=self.track,
+        )
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        return span
+
+    def end(self, span: Span) -> None:
+        span.end_ns = time.perf_counter_ns()
+        # Close any dangling descendants too (exception unwound past them).
+        while self._stack and self._stack[-1] is not span:
+            dangling = self._stack.pop()
+            if dangling.end_ns == 0:
+                dangling.end_ns = span.end_ns
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+
+    def span(self, name: str, category: str = "", **attrs: object) -> _SpanHandle:
+        """``with tracer.span("scoring", candidate="mul0"): ...``"""
+        return _SpanHandle(self, self.start(name, category, **attrs))
+
+    @property
+    def current(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    # ------------------------------------------------------------------
+    def adopt(self, payload: Sequence[dict], track: Optional[str] = None) -> List[Span]:
+        """Graft serialized spans (a worker's output) into the live tree.
+
+        The adopted spans become children of the currently open span (or
+        roots). Callers adopt worker payloads **in task order**, so the
+        merged tree is deterministic regardless of completion order.
+        ``track`` relabels every adopted span; by default the tracks the
+        worker recorded are kept.
+        """
+        spans = spans_from_dicts(payload)
+        if track is not None:
+            for span in spans:
+                for node in span.walk():
+                    node.track = track
+        if self._stack:
+            self._stack[-1].children.extend(spans)
+        else:
+            self.roots.extend(spans)
+        return spans
+
+
+# ----------------------------------------------------------------------
+# Plain-dict serialisation (worker <-> parent exchange format)
+# ----------------------------------------------------------------------
+def spans_to_dicts(spans: Sequence[Span]) -> List[dict]:
+    """Lossless, picklable representation of a span forest."""
+    return [
+        {
+            "name": s.name,
+            "category": s.category,
+            "start_ns": s.start_ns,
+            "end_ns": s.end_ns,
+            "attrs": dict(s.attrs),
+            "track": s.track,
+            "children": spans_to_dicts(s.children),
+        }
+        for s in spans
+    ]
+
+
+def spans_from_dicts(payload: Sequence[dict]) -> List[Span]:
+    """Inverse of :func:`spans_to_dicts`."""
+    return [
+        Span(
+            name=d["name"],
+            category=d.get("category", ""),
+            start_ns=d["start_ns"],
+            end_ns=d["end_ns"],
+            attrs=dict(d.get("attrs", {})),
+            track=d.get("track", MAIN_TRACK),
+            children=spans_from_dicts(d.get("children", ())),
+        )
+        for d in payload
+    ]
+
+
+def span_shape(spans: Sequence[Span]) -> tuple:
+    """Timing-free structural fingerprint: (name, child shapes) nested.
+
+    Two traces of the same run compare equal under this view even though
+    every timestamp differs — the determinism the pool merge guarantees.
+    """
+    return tuple((s.name, span_shape(s.children)) for s in spans)
+
+
+def iter_spans(spans: Sequence[Span]):
+    """Every span of a forest, depth-first."""
+    for span in spans:
+        yield from span.walk()
+
+
+def find_spans(spans: Sequence[Span], name: str) -> List[Span]:
+    """All spans with the given name, depth-first order."""
+    return [s for s in iter_spans(spans) if s.name == name]
+
+
+def aggregate_spans(spans: Sequence[Span]) -> List[dict]:
+    """Per-name rollup (count / total / self time), longest first.
+
+    *Self* time excludes child spans, so the rollup answers "where does
+    the time actually go" rather than double-counting nested stages.
+    """
+    rollup: Dict[str, dict] = {}
+    for span in iter_spans(spans):
+        entry = rollup.setdefault(
+            span.name, {"name": span.name, "count": 0, "total_s": 0.0, "self_s": 0.0}
+        )
+        entry["count"] += 1
+        entry["total_s"] += span.duration_s
+        entry["self_s"] += max(
+            0.0, span.duration_s - sum(c.duration_s for c in span.children)
+        )
+    return sorted(rollup.values(), key=lambda e: -e["total_s"])
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event JSON (Perfetto / chrome://tracing)
+# ----------------------------------------------------------------------
+def _json_safe(value: object) -> object:
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    return str(value)
+
+
+def chrome_trace_events(spans: Sequence[Span], pid: Optional[int] = None) -> List[dict]:
+    """Flatten a span forest into complete ('X') trace events.
+
+    One integer ``tid`` per distinct span track, announced with
+    ``thread_name`` metadata so Perfetto labels the rows ("main",
+    "task-0", ...). Timestamps/durations are microseconds with
+    fractional nanosecond precision.
+    """
+    pid = pid if pid is not None else os.getpid()
+    tids: Dict[str, int] = {}
+    events: List[dict] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": "repro"},
+        }
+    ]
+
+    def tid_of(track: str) -> int:
+        if track not in tids:
+            tids[track] = len(tids)
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid,
+                    "tid": tids[track],
+                    "args": {"name": track},
+                }
+            )
+        return tids[track]
+
+    for span in iter_spans(spans):
+        events.append(
+            {
+                "ph": "X",
+                "name": span.name,
+                "cat": span.category or "repro",
+                "ts": span.start_ns / 1000.0,
+                "dur": span.duration_ns / 1000.0,
+                "pid": pid,
+                "tid": tid_of(span.track),
+                "args": {k: _json_safe(v) for k, v in span.attrs.items()},
+            }
+        )
+    return events
+
+
+def chrome_trace(spans: Sequence[Span], metrics: Optional[dict] = None) -> dict:
+    """The full Chrome trace JSON document (plus optional metrics blob)."""
+    document = {
+        "traceEvents": chrome_trace_events(spans),
+        "displayTimeUnit": "ms",
+    }
+    if metrics is not None:
+        document["otherData"] = {"repro_metrics": metrics}
+    return document
+
+
+def write_chrome_trace(
+    path: str, spans: Sequence[Span], metrics: Optional[dict] = None
+) -> None:
+    """Write a Perfetto-loadable trace file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(chrome_trace(spans, metrics=metrics), fh, indent=1)
+        fh.write("\n")
+
+
+def read_chrome_trace(path: str) -> List[Span]:
+    """Reload a trace written by :func:`write_chrome_trace`.
+
+    Rebuilds the span forest from the flat event list: events are grouped
+    per track, sorted by start time (longer spans first on ties, so
+    parents precede the children they contain), and re-nested by interval
+    containment. For traces produced by this module the reconstruction is
+    exact — see the round-trip test.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        document = json.load(fh)
+    events = document["traceEvents"] if isinstance(document, dict) else document
+    track_names: Dict[tuple, str] = {}
+    complete: List[dict] = []
+    for event in events:
+        if event.get("ph") == "M" and event.get("name") == "thread_name":
+            track_names[(event.get("pid"), event.get("tid"))] = event["args"]["name"]
+        elif event.get("ph") == "X":
+            complete.append(event)
+
+    by_track: Dict[tuple, List[dict]] = {}
+    for event in complete:
+        by_track.setdefault((event.get("pid"), event.get("tid")), []).append(event)
+
+    roots: List[Span] = []
+    for key in sorted(by_track, key=lambda k: (str(k[0]), str(k[1]))):
+        track = track_names.get(key, MAIN_TRACK)
+        track_events = sorted(
+            by_track[key], key=lambda e: (e["ts"], -e.get("dur", 0.0))
+        )
+        stack: List[Span] = []
+        for event in track_events:
+            start_ns = round(event["ts"] * 1000.0)
+            end_ns = start_ns + round(event.get("dur", 0.0) * 1000.0)
+            span = Span(
+                name=event["name"],
+                category="" if event.get("cat") == "repro" else event.get("cat", ""),
+                start_ns=start_ns,
+                end_ns=end_ns,
+                attrs=dict(event.get("args", {})),
+                track=track,
+            )
+            while stack and stack[-1].end_ns <= span.start_ns:
+                stack.pop()
+            if stack:
+                stack[-1].children.append(span)
+            else:
+                roots.append(span)
+            stack.append(span)
+    return roots

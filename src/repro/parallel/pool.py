@@ -31,6 +31,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
+from repro import obs
 from repro.errors import ReproError
 
 
@@ -102,11 +103,29 @@ class ParallelReport:
 
 
 def _timed_call(args):
-    """Module-level worker shim: run ``fn(payload)`` and time it."""
-    fn, payload = args
-    start = time.perf_counter()
-    value = fn(payload)
-    return value, time.perf_counter() - start
+    """Module-level worker shim: run ``fn(payload)`` and time it.
+
+    When the parent had observability enabled at dispatch time, ``args``
+    carries a capture flag and a track label: the task then runs under a
+    fresh per-task recorder whose finished spans and metric snapshot ride
+    back with the result, for the parent to merge in payload order. The
+    same shim runs on the inline path, so serial and pooled executions
+    produce structurally identical traces.
+    """
+    fn, payload = args[0], args[1]
+    capture = args[2] if len(args) > 2 else False
+    if not capture:
+        start = time.perf_counter()
+        value = fn(payload)
+        return value, time.perf_counter() - start, None, None
+    track = args[3] if len(args) > 3 else obs.MAIN_TRACK
+    recorder = obs.Recorder(track=track)
+    with obs.use(recorder):
+        with obs.span("pool.task", "pool", track=track):
+            start = time.perf_counter()
+            value = fn(payload)
+            seconds = time.perf_counter() - start
+    return value, seconds, recorder.trace_payload(), recorder.metrics
 
 
 class WorkerPool:
@@ -141,9 +160,26 @@ class WorkerPool:
         self.close()
 
     def close(self) -> None:
-        if self._executor is not None:
-            self._executor.shutdown(wait=False, cancel_futures=True)
-            self._executor = None
+        """Shut the executor down; a failing shutdown is recorded, not lost.
+
+        A teardown error (e.g. a poisoned worker wedging the executor)
+        lands in :attr:`fallback_reason` — and from there in
+        ``StageTimings.pool_fallback_reason`` / report payloads — and
+        bumps the ``pool.teardown_errors`` counter, instead of being
+        silently swallowed.
+        """
+        executor, self._executor = self._executor, None
+        if executor is None:
+            return
+        try:
+            executor.shutdown(wait=False, cancel_futures=True)
+        except Exception as exc:
+            reason = (
+                f"worker pool shutdown failed ({type(exc).__name__}: {exc})"
+            )
+            if self.fallback_reason is None:
+                self.fallback_reason = reason
+            obs.counter("pool.teardown_errors").inc()
 
     def __del__(self) -> None:  # belt and braces for exceptional exits
         try:
@@ -163,13 +199,21 @@ class WorkerPool:
                 mp_context=multiprocessing.get_context("fork"),
             )
         futures = [
-            self._executor.submit(_timed_call, (fn, payload))
-            for payload in payloads
+            self._executor.submit(_timed_call, task) for task in self._tasks_of(fn, payloads)
         ]
         return [future.result() for future in futures]
 
     def _inline_map(self, fn: Callable, payloads: Sequence) -> List:
-        return [_timed_call((fn, payload)) for payload in payloads]
+        return [_timed_call(task) for task in self._tasks_of(fn, payloads)]
+
+    def _tasks_of(self, fn: Callable, payloads: Sequence) -> List[tuple]:
+        if not obs.enabled():
+            return [(fn, payload) for payload in payloads]
+        base = self.tasks
+        return [
+            (fn, payload, True, f"task-{base + index}")
+            for index, payload in enumerate(payloads)
+        ]
 
     def map(self, fn: Callable, payloads: Sequence) -> List:
         """Run ``fn`` over ``payloads``; results come back in payload order.
@@ -179,28 +223,52 @@ class WorkerPool:
         inline execution for the rest of its life;
         :class:`~repro.errors.ReproError` raised by a task propagates.
         """
-        start = time.perf_counter()
-        if not self.active or len(payloads) <= 1:
-            outcomes = self._inline_map(fn, payloads)
-        else:
-            try:
-                outcomes = self._pool_map(fn, payloads)
-            except ReproError:
-                raise
-            except Exception as exc:  # infrastructure failure: degrade
-                self.fallback_reason = (
-                    f"worker pool failed ({type(exc).__name__}: {exc}); "
-                    f"degraded to serial execution"
-                )
-                self.close()
+        recorder = obs.current()
+        with recorder.span(
+            "pool.map", "pool", tasks=len(payloads), workers=self.workers
+        ) as map_span:
+            start = time.perf_counter()
+            if not self.active or len(payloads) <= 1:
+                mode = "inline"
                 outcomes = self._inline_map(fn, payloads)
-        self.wall_seconds += time.perf_counter() - start
-        values = []
-        for value, seconds in outcomes:
-            values.append(value)
-            self.tasks += 1
-            self.busy_seconds += seconds
-            self.task_seconds.append(seconds)
+            else:
+                mode = "pool"
+                try:
+                    outcomes = self._pool_map(fn, payloads)
+                except ReproError:
+                    raise
+                except Exception as exc:  # infrastructure failure: degrade
+                    self.fallback_reason = (
+                        f"worker pool failed ({type(exc).__name__}: {exc}); "
+                        f"degraded to serial execution"
+                    )
+                    recorder.counter("pool.degradations").inc()
+                    self.close()
+                    mode = "inline"
+                    outcomes = self._inline_map(fn, payloads)
+            wall = time.perf_counter() - start
+            map_span.set(mode=mode)
+            self.wall_seconds += wall
+            values = []
+            # Outcomes arrive in payload order, so adopting each task's
+            # spans here yields a deterministic merged tree no matter
+            # which worker finished first.
+            for value, seconds, trace_payload, task_metrics in outcomes:
+                values.append(value)
+                self.tasks += 1
+                self.busy_seconds += seconds
+                self.task_seconds.append(seconds)
+                recorder.absorb(trace_payload, task_metrics)
+                recorder.counter("pool.tasks", mode=mode).inc()
+                recorder.histogram("pool.task_seconds").observe(seconds)
+            recorder.counter("pool.maps").inc()
+            recorder.gauge("pool.workers").set(self.workers)
+            recorder.gauge("pool.busy_seconds_total").set(self.busy_seconds)
+            recorder.gauge("pool.wall_seconds_total").set(self.wall_seconds)
+            if self.workers and self.wall_seconds:
+                recorder.gauge("pool.utilization").set(
+                    min(1.0, self.busy_seconds / (self.workers * self.wall_seconds))
+                )
         return values
 
     # ------------------------------------------------------------------

@@ -25,6 +25,7 @@ import copy
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core.cost import CandidateCost, CostModel
 from repro.core.savings import SavingsEstimate
 from repro.parallel.pool import WorkerPool
@@ -93,9 +94,22 @@ def _score_chunk(payload: dict) -> List[ScoreRecord]:
     refined: bool = payload["refined"]
     by_name = {c.name: c for c in cost_model.savings_model.candidates}
     return [
-        _record_of(cost_model.evaluate(by_name[name], style, refined=refined))
+        _score_one(cost_model, by_name[name], style, refined)
         for name, style in payload["tasks"]
     ]
+
+
+def _score_one(cost_model: CostModel, candidate, style: str, refined: bool) -> ScoreRecord:
+    """One traced ``(candidate, style)`` evaluation (worker or serial)."""
+    with obs.span(
+        "score.candidate", "score", candidate=candidate.name, style=style
+    ) as span:
+        cost = cost_model.evaluate(candidate, style, refined=refined)
+        span.set(accepted=cost.accepted, h=cost.h)
+        obs.counter(
+            "score.evaluations", accepted=str(cost.accepted).lower()
+        ).inc()
+    return _record_of(cost)
 
 
 def chunk_tasks(tasks: Sequence, chunks: int) -> List[List]:
@@ -123,24 +137,26 @@ def score_candidates(
     execution produce bit-identical numbers.
     """
     by_name = {c.name: c for c in cost_model.savings_model.candidates}
-    if pool is None or not pool.active or len(tasks) <= 1:
-        return {
-            (name, style): cost_model.evaluate(
-                by_name[name], style, refined=refined
-            )
-            for name, style in tasks
-        }
-    payloads = [
-        {"cost_model": cost_model, "refined": refined, "tasks": chunk}
-        for chunk in chunk_tasks(tasks, pool.workers)
-    ]
-    results: Dict[ScoreTask, CandidateCost] = {}
-    for records in pool.map(_score_chunk, payloads):
-        for record in records:
-            results[(record.name, record.style)] = _cost_of(
-                record, by_name[record.name]
-            )
-    return results
+    with obs.span("score.batch", "score", tasks=len(tasks)):
+        if pool is None or not pool.active or len(tasks) <= 1:
+            return {
+                (name, style): _cost_of(
+                    _score_one(cost_model, by_name[name], style, refined),
+                    by_name[name],
+                )
+                for name, style in tasks
+            }
+        payloads = [
+            {"cost_model": cost_model, "refined": refined, "tasks": chunk}
+            for chunk in chunk_tasks(tasks, pool.workers)
+        ]
+        results: Dict[ScoreTask, CandidateCost] = {}
+        for records in pool.map(_score_chunk, payloads):
+            for record in records:
+                results[(record.name, record.style)] = _cost_of(
+                    record, by_name[record.name]
+                )
+        return results
 
 
 # ----------------------------------------------------------------------

@@ -36,6 +36,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Uni
 
 import numpy as np
 
+from repro import obs
 from repro.errors import SimulationError
 from repro.netlist.design import Design
 from repro.parallel.pool import ParallelReport, WorkerPool
@@ -251,26 +252,34 @@ def run_shard(
     determinism tests drive single shards through it and resume them
     with :class:`~repro.sim.batch.BatchCheckpoint`).
     """
-    start = time.perf_counter()
-    restrict = (
-        [design.net(name) for name in nets] if nets is not None else None
-    )
-    monitor = BatchToggleMonitor(restrict)
-    probe_monitors = [
-        BatchProbe(name, expr) for name, expr in sorted((probes or {}).items())
-    ]
-    simulator = BatchSimulator(design, batch_size=spec.lanes, engine=engine)
-    stimulus = BatchRandomStimulus(
-        design, batch_size=spec.lanes, seed=spec.seed, **dict(stimulus_kwargs or {})
-    )
-    monitors = simulator.run(
-        stimulus,
-        cycles,
-        monitors=[monitor] + probe_monitors,
-        warmup=warmup,
-        checkpoint_every=checkpoint_every,
-    )
-    return shard_stats_from_monitors(spec, monitors, time.perf_counter() - start)
+    with obs.span(
+        "shard.run",
+        "sim",
+        design=design.name,
+        shard=spec.index,
+        lanes=spec.lanes,
+        cycles=cycles,
+    ):
+        start = time.perf_counter()
+        restrict = (
+            [design.net(name) for name in nets] if nets is not None else None
+        )
+        monitor = BatchToggleMonitor(restrict)
+        probe_monitors = [
+            BatchProbe(name, expr) for name, expr in sorted((probes or {}).items())
+        ]
+        simulator = BatchSimulator(design, batch_size=spec.lanes, engine=engine)
+        stimulus = BatchRandomStimulus(
+            design, batch_size=spec.lanes, seed=spec.seed, **dict(stimulus_kwargs or {})
+        )
+        monitors = simulator.run(
+            stimulus,
+            cycles,
+            monitors=[monitor] + probe_monitors,
+            warmup=warmup,
+            checkpoint_every=checkpoint_every,
+        )
+        return shard_stats_from_monitors(spec, monitors, time.perf_counter() - start)
 
 
 def shard_stats_from_monitors(

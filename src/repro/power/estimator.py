@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro import obs
 from repro.netlist.cells import Cell, PortDir
 from repro.netlist.design import Design
 from repro.power.library import TechnologyLibrary, default_library
@@ -166,6 +167,15 @@ class PowerEstimator:
             result.energy_per_cell[cell] = self.cell_energy(
                 cell, monitor, depth=depths.get(cell, 1)
             )
+        if obs.enabled():
+            for cell in design.datapath_modules:
+                for pin in cell.output_pins:
+                    obs.gauge(
+                        "module.toggle_rate", module=cell.name, net=pin.net.name
+                    ).set(monitor.toggle_rate(pin.net))
+                obs.gauge("module.power_mw", module=cell.name).set(
+                    result.cell_power_mw(cell)
+                )
         return result
 
 
@@ -190,16 +200,26 @@ def estimate_power(
     cfg = resolve_run_config(
         run,
         defaults=RunConfig(cycles=2000, warmup=16),
+        stacklevel=3,
         engine=engine,
         cycles=cycles,
         warmup=warmup,
     )
-    monitor = ToggleMonitor()
-    monitors = [monitor] + list(extra_monitors or [])
-    make_simulator(design, cfg.engine).run(
-        stimulus, cfg.cycles, monitors=monitors, warmup=cfg.warmup
-    )
-    return PowerEstimator(library).breakdown(design, monitor)
+    with obs.span(
+        "power.estimate",
+        "sim",
+        design=design.name,
+        engine=cfg.engine,
+        cycles=cfg.cycles,
+    ) as span:
+        monitor = ToggleMonitor()
+        monitors = [monitor] + list(extra_monitors or [])
+        make_simulator(design, cfg.engine).run(
+            stimulus, cfg.cycles, monitors=monitors, warmup=cfg.warmup
+        )
+        breakdown = PowerEstimator(library).breakdown(design, monitor)
+        span.set(power_mw=breakdown.total_power_mw)
+    return breakdown
 
 
 @dataclass

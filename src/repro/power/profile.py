@@ -56,17 +56,26 @@ class PowerProfileMonitor(Monitor):
                 ) + library.output_toggle_energy(cell, pin.net)
         self._static = static
         self._previous: Dict[Net, int] = {}
+        self._seeded = False
         self._accumulator = 0.0
         self._in_window = 0
         self.windows_mw = []
 
     def observe(self, cycle: int, values: Mapping[Net, int]) -> None:
+        # The first observed cycle (wherever warmup put it) has no
+        # predecessor to diff against: it only seeds the reference values
+        # and stays out of the window accounting entirely. Counting it
+        # used to deflate the first window and shift every boundary after
+        # a warmup run.
+        if not self._seeded:
+            for net in self._coeff:
+                self._previous[net] = values[net]
+            self._seeded = True
+            return
         energy = self._static
         for net, coeff in self._coeff.items():
             value = values[net]
-            prev = self._previous.get(net)
-            if prev is not None:
-                energy += coeff * popcount(prev ^ value)
+            energy += coeff * popcount(self._previous[net] ^ value)
             self._previous[net] = value
         self._accumulator += energy
         self._in_window += 1

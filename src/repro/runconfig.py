@@ -74,6 +74,12 @@ class RunConfig:
         CPU), ``n > 1`` = a pool of ``n`` workers. Results are bit-exact
         across worker counts; pool failures degrade to serial with a
         recorded ``fallback_reason``.
+    trace:
+        Enable the observability layer (:mod:`repro.obs`) for runs made
+        through the :class:`repro.api.Session` facade: every pipeline
+        stage is recorded as a span and the metrics registry fills in.
+        Inspect via ``Session.trace()`` / ``Session.metrics()`` or export
+        with ``Session.write_trace()``. Off by default (near-zero cost).
     """
 
     cycles: int = 2000
@@ -81,6 +87,7 @@ class RunConfig:
     seed: int = 0
     engine: str = "python"
     workers: int = field(default_factory=_default_workers)
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -102,7 +109,7 @@ class RunConfig:
 def resolve_run_config(
     run: Optional[RunConfig] = None,
     defaults: Optional[RunConfig] = None,
-    stacklevel: int = 3,
+    stacklevel: int = 2,
     engine: Optional[str] = None,
     **legacy,
 ) -> RunConfig:
@@ -113,6 +120,12 @@ def resolve_run_config(
     :class:`DeprecationWarning` and override the corresponding
     :class:`RunConfig` field. ``engine`` is a first-class kwarg (not
     deprecated) and likewise overrides the config when given.
+
+    The default ``stacklevel=2`` points the warning at whoever called
+    this function. Entry points that accept the legacy kwargs on the
+    user's behalf (``estimate_power``, ``isolate_design``, ...) pass
+    ``stacklevel=3`` so the warning names *their* caller's file, not a
+    line inside ``repro``.
     """
     resolved = run if run is not None else (defaults or RunConfig())
     provided = {k: v for k, v in legacy.items() if v is not None}

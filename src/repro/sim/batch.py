@@ -32,6 +32,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.errors import SimulationError, StimulusError
 from repro.netlist.arith import (
     Adder,
@@ -474,26 +475,35 @@ class BatchSimulator:
             raise SimulationError(
                 f"checkpoint_every must be >= 1, got {checkpoint_every}"
             )
-        if resume_from is not None:
-            self.restore(resume_from)
-            monitors = self._copy_monitors(resume_from.monitors)
-            start = resume_from.step_index
-        else:
-            monitors = list(monitors or [])
-            for monitor in monitors:
-                monitor.begin(self.design, self.batch_size)
-            start = 0
-        for i in range(start, warmup + cycles):
-            settled = self.step(stimulus.values(self.cycle))
-            if i >= warmup:
+        with obs.span(
+            "sim.batch",
+            "sim",
+            design=self.design.name,
+            batch_size=self.batch_size,
+            cycles=cycles,
+            warmup=warmup,
+            resumed=resume_from is not None,
+        ):
+            if resume_from is not None:
+                self.restore(resume_from)
+                monitors = self._copy_monitors(resume_from.monitors)
+                start = resume_from.step_index
+            else:
+                monitors = list(monitors or [])
                 for monitor in monitors:
-                    monitor.observe(self.cycle, settled)
-            self.commit()
-            if checkpoint_every is not None and (i + 1) % checkpoint_every == 0:
-                self.last_checkpoint = self.checkpoint(i + 1, monitors)
-        for monitor in monitors:
-            monitor.finish()
-        return monitors
+                    monitor.begin(self.design, self.batch_size)
+                start = 0
+            for i in range(start, warmup + cycles):
+                settled = self.step(stimulus.values(self.cycle))
+                if i >= warmup:
+                    for monitor in monitors:
+                        monitor.observe(self.cycle, settled)
+                self.commit()
+                if checkpoint_every is not None and (i + 1) % checkpoint_every == 0:
+                    self.last_checkpoint = self.checkpoint(i + 1, monitors)
+            for monitor in monitors:
+                monitor.finish()
+            return monitors
 
     # ------------------------------------------------------------------
     # Checkpoint / resume

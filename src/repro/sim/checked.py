@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Mapping, Optional, Sequence
 
+from repro import obs
 from repro.errors import EquivalenceError
 from repro.netlist.design import Design
 from repro.netlist.nets import Net
@@ -176,19 +177,27 @@ class CheckedSimulator:
         cycles are stepped but unobserved); monitors see the compiled
         engine's values.
         """
-        monitors = list(monitors or [])
-        for mon in monitors:
-            mon.begin(self.design)
-        for i in range(warmup + cycles):
-            settled = self.step(stimulus.values(self.cycle))
-            if i >= warmup:
-                for mon in monitors:
-                    mon.observe(self.cycle, settled)
-            self.commit()
-            if (i + 1) % self.check_interval == 0:
+        with obs.span(
+            "sim.run",
+            "sim",
+            engine="checked",
+            design=self.design.name,
+            cycles=cycles,
+            warmup=warmup,
+        ):
+            monitors = list(monitors or [])
+            for mon in monitors:
+                mon.begin(self.design)
+            for i in range(warmup + cycles):
+                settled = self.step(stimulus.values(self.cycle))
+                if i >= warmup:
+                    for mon in monitors:
+                        mon.observe(self.cycle, settled)
+                self.commit()
+                if (i + 1) % self.check_interval == 0:
+                    self.check()
+            if (warmup + cycles) % self.check_interval != 0:
                 self.check()
-        if (warmup + cycles) % self.check_interval != 0:
-            self.check()
-        for mon in monitors:
-            mon.finish()
-        return SimulationResult(cycles=cycles, monitors=monitors)
+            for mon in monitors:
+                mon.finish()
+            return SimulationResult(cycles=cycles, monitors=monitors)

@@ -45,6 +45,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.errors import CompilationError, ReproError, SimulationError
 from repro.netlist.arith import (
     Adder,
@@ -654,13 +655,16 @@ class ProgramCache:
             program = self._programs.get(key)
             if program is not None:
                 self.hits += 1
+                obs.counter("cache.hits").inc()
                 self._programs.move_to_end(key)
                 self._lineage[design.name] = program
                 return program
             self.misses += 1
+            obs.counter("cache.misses").inc()
             previous = self._lineage.get(design.name)
         try:
-            program = compile_design(design, previous=previous)
+            with obs.span("sim.compile", "sim", design=design.name):
+                program = compile_design(design, previous=previous)
         except ReproError:
             # Typed errors (validation failures, explicit compilation
             # errors) pass through untouched.
@@ -675,6 +679,8 @@ class ProgramCache:
         with self._lock:
             self.units_compiled += program.blocks_compiled
             self.units_reused += program.blocks_reused
+            obs.counter("cache.units_compiled").inc(program.blocks_compiled)
+            obs.counter("cache.units_reused").inc(program.blocks_reused)
             self._programs[key] = program
             self._lineage[design.name] = program
             while len(self._programs) > self.maxsize:
@@ -813,6 +819,23 @@ class CompiledSimulator:
         value array); every other monitor observes through the usual
         per-cycle mapping interface.
         """
+        with obs.span(
+            "sim.run",
+            "sim",
+            engine="compiled",
+            design=self.design.name,
+            cycles=cycles,
+            warmup=warmup,
+        ):
+            return self._run(stimulus, cycles, monitors, warmup)
+
+    def _run(
+        self,
+        stimulus: Stimulus,
+        cycles: int,
+        monitors: Optional[Sequence[Monitor]] = None,
+        warmup: int = 0,
+    ) -> SimulationResult:
         monitors = list(monitors or [])
         fast: List[ToggleMonitor] = []
         generic: List[Monitor] = []

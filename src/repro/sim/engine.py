@@ -21,6 +21,7 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
+from repro import obs
 from repro.errors import CompilationError, SimulationError
 from repro.netlist.cells import Cell
 from repro.netlist.design import Design
@@ -149,18 +150,26 @@ class Simulator:
         ``warmup`` cycles are simulated first without monitor observation
         (useful to flush reset transients out of the statistics).
         """
-        monitors = list(monitors or [])
-        for mon in monitors:
-            mon.begin(self.design)
-        for i in range(warmup + cycles):
-            settled = self.step(stimulus.values(self.cycle))
-            if i >= warmup:
-                for mon in monitors:
-                    mon.observe(self.cycle, settled)
-            self.commit()
-        for mon in monitors:
-            mon.finish()
-        return SimulationResult(cycles=cycles, monitors=monitors)
+        with obs.span(
+            "sim.run",
+            "sim",
+            engine="python",
+            design=self.design.name,
+            cycles=cycles,
+            warmup=warmup,
+        ):
+            monitors = list(monitors or [])
+            for mon in monitors:
+                mon.begin(self.design)
+            for i in range(warmup + cycles):
+                settled = self.step(stimulus.values(self.cycle))
+                if i >= warmup:
+                    for mon in monitors:
+                        mon.observe(self.cycle, settled)
+                self.commit()
+            for mon in monitors:
+                mon.finish()
+            return SimulationResult(cycles=cycles, monitors=monitors)
 
 
 def _degraded(design: Design, engine: str, exc: CompilationError) -> Simulator:

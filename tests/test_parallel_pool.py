@@ -192,3 +192,45 @@ def test_invalid_workers_rejected_by_configs():
         RunConfig(workers=-1)
     with pytest.raises(IsolationError):
         IsolationConfig(workers=-2)
+
+class TestPoolTeardown:
+    """close() must surface shutdown failures, not swallow them."""
+
+    class _PoisonedExecutor:
+        def shutdown(self, *args, **kwargs):
+            raise OSError("wedged worker process")
+
+    def test_poisoned_shutdown_recorded(self):
+        from repro import obs
+
+        recorder = obs.Recorder()
+        pool = WorkerPool(2)
+        pool._executor = self._PoisonedExecutor()
+        with obs.use(recorder):
+            pool.close()
+        assert pool.fallback_reason is not None
+        assert "wedged worker process" in pool.fallback_reason
+        assert "OSError" in pool.fallback_reason
+        assert pool.report().fallback_reason == pool.fallback_reason
+        assert recorder.metrics.counter("pool.teardown_errors").value == 1.0
+
+    def test_teardown_failure_does_not_mask_earlier_reason(self):
+        pool = WorkerPool(2)
+        pool.fallback_reason = "earlier degradation"
+        pool._executor = self._PoisonedExecutor()
+        pool.close()  # no recorder active: still must not raise or overwrite
+        assert pool.fallback_reason == "earlier degradation"
+
+    def test_close_is_idempotent(self):
+        pool = WorkerPool(2)
+        pool._executor = self._PoisonedExecutor()
+        pool.close()
+        first = pool.fallback_reason
+        pool.close()  # executor already detached: nothing to re-fail
+        assert pool.fallback_reason == first
+
+    def test_clean_close_records_nothing(self):
+        with WorkerPool(2) as pool:
+            pool.map(_double, [1, 2, 3])
+        assert pool.fallback_reason is None
+        assert pool._executor is None

@@ -170,3 +170,39 @@ class TestStageTimings:
         if payload["workers"] > 1:  # REPRO_WORKERS may pool the scoring
             expected |= {"parallel"}
         assert set(payload) - {"pool_fallback_reason"} == expected
+
+class TestWarningAttribution:
+    """Deprecation warnings must point at the *caller's* line, not at the
+    shim machinery (or, worse, the interpreter's own frames)."""
+
+    def test_direct_resolve_points_at_caller(self):
+        with pytest.warns(DeprecationWarning) as record:
+            resolve_run_config(None, cycles=7)
+        assert record[0].filename == __file__
+
+    def test_estimate_power_points_at_caller(self, d1):
+        with pytest.warns(DeprecationWarning) as record:
+            estimate_power(d1, random_stimulus(d1, seed=1), 150)
+        assert record[0].filename == __file__
+
+    def test_rank_candidates_points_at_caller(self, d1):
+        with pytest.warns(DeprecationWarning) as record:
+            rank_candidates(d1, random_stimulus(d1, seed=1), cycles=150)
+        assert record[0].filename == __file__
+
+    def test_isolate_design_points_at_caller(self, d1):
+        with pytest.warns(DeprecationWarning) as record:
+            isolate_design(
+                d1, lambda: random_stimulus(d1, seed=1), cycles=150, warmup=4
+            )
+        assert record[0].filename == __file__
+
+    def test_compare_styles_points_at_caller(self, fig1):
+        with pytest.warns(DeprecationWarning) as record:
+            compare_styles(
+                fig1,
+                lambda: random_stimulus(fig1, seed=1),
+                styles=["and"],
+                cycles=150,
+            )
+        assert record[0].filename == __file__
