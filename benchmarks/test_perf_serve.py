@@ -1,0 +1,108 @@
+"""Serving-layer performance: cold vs cached jobs, request latency.
+
+The acceptance criterion of the serving layer is that resubmitting an
+identical design + run config is answered from the content-addressed
+cache without recomputation. This benchmark quantifies it end to end —
+over the real HTTP wire path (`ReproServer` + `ServeClient`), not the
+in-process service — on the two reference workloads:
+
+* ``design1`` — the paper's main evaluation design;
+* ``soc`` — the composite SoC, the heaviest shipped generator.
+
+It records the cold (full Algorithm-1 run) and cached job times, the
+implied speedup, and the sustained cache-hit request throughput, and
+asserts the cache actually short-circuits the work (>=10x).
+"""
+
+from __future__ import annotations
+
+import statistics
+import threading
+import time
+
+from repro.serve import JobService, ServeClient, make_server
+
+RUN = {"cycles": 400, "warmup": 16, "seed": 0, "engine": "compiled"}
+CACHED_SAMPLES = 30
+THROUGHPUT_SECONDS = 2.0
+MIN_SPEEDUP = 10.0
+
+
+def _serve():
+    srv = make_server(
+        port=0, service=JobService(queue_size=16, job_workers=1)
+    )
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    return srv, thread
+
+
+def _cold_and_cached(client, builtin):
+    start = time.perf_counter()
+    job = client.submit_and_wait(
+        "isolate", builtin=builtin, run=RUN, params={"style": "and"}
+    )
+    cold = time.perf_counter() - start
+    assert job["state"] == "done" and not job["cached"]
+
+    laps = []
+    for _ in range(CACHED_SAMPLES):
+        start = time.perf_counter()
+        hit = client.submit(
+            "isolate", builtin=builtin, run=RUN, params={"style": "and"}
+        )
+        laps.append(time.perf_counter() - start)
+        assert hit["cached"] and hit["state"] == "done"
+    return cold, statistics.median(laps), max(laps)
+
+
+def test_cached_jobs_bypass_recomputation(record):
+    srv, thread = _serve()
+    client = ServeClient(srv.url, timeout=120.0)
+    try:
+        rows = []
+        for builtin in ("design1", "soc"):
+            cold, cached_med, cached_max = _cold_and_cached(client, builtin)
+            rows.append((builtin, cold, cached_med, cached_max))
+
+        # Sustained cache-hit throughput on the cheaper workload.
+        requests = 0
+        deadline = time.perf_counter() + THROUGHPUT_SECONDS
+        start = time.perf_counter()
+        while time.perf_counter() < deadline:
+            client.submit(
+                "isolate", builtin="design1", run=RUN, params={"style": "and"}
+            )
+            requests += 1
+        throughput = requests / (time.perf_counter() - start)
+
+        lines = [
+            "Serving layer: cold vs content-addressed-cached isolate jobs",
+            f"(HTTP round trips via ServeClient; run={RUN})",
+            "",
+            f"  {'design':10s} {'cold (s)':>10s} {'cached med (ms)':>16s} "
+            f"{'cached max (ms)':>16s} {'speedup':>9s}",
+        ]
+        for builtin, cold, med, worst in rows:
+            lines.append(
+                f"  {builtin:10s} {cold:10.3f} {med * 1e3:16.2f} "
+                f"{worst * 1e3:16.2f} {cold / med:8.0f}x"
+            )
+        lines += [
+            "",
+            f"  cache-hit throughput (design1): {throughput:7.0f} req/s "
+            f"({requests} requests in {THROUGHPUT_SECONDS:.0f}s window)",
+        ]
+        record("perf_serve", "\n".join(lines))
+
+        for builtin, cold, med, _worst in rows:
+            assert cold / med >= MIN_SPEEDUP, (
+                f"{builtin}: cached submit ({med * 1e3:.1f} ms) not "
+                f">= {MIN_SPEEDUP:.0f}x faster than cold ({cold:.2f} s) — "
+                "is the cache being bypassed?"
+            )
+    finally:
+        srv.service.shutdown(drain=False)
+        srv.shutdown()
+        srv.server_close()
+        thread.join(timeout=10)

@@ -55,6 +55,7 @@ from repro.power.estimator import (
 )
 from repro.power.library import TechnologyLibrary, default_library
 from repro.runconfig import ENGINES, RunConfig
+from repro.sim.compile import design_fingerprint
 from repro.sim.engine import SimulationResult, make_simulator
 from repro.sim.stimulus import Stimulus, random_stimulus
 
@@ -263,6 +264,16 @@ class Session:
         with self._recording(None):
             return derive_activation_functions(self.design)
 
+    def fingerprint(self) -> str:
+        """Content-addressed fingerprint of the session's design.
+
+        See :func:`repro.sim.compile.design_fingerprint`: structurally
+        identical rebuilds collide, any structural edit changes the
+        digest. Combined with :meth:`RunConfig.fingerprint` this is the
+        identity under which :mod:`repro.serve` caches results.
+        """
+        return design_fingerprint(self.design)
+
     def validate(self, allow_dangling: bool = False) -> List[Diagnostic]:
         """Structural diagnostics of the design (empty list = healthy).
 
@@ -296,6 +307,7 @@ __all__ = [
     "Session",
     "load",
     "loads",
+    "design_fingerprint",
     "Diagnostic",
     "RunConfig",
     "ENGINES",

@@ -79,6 +79,45 @@ class EquivalenceError(ReproError):
     """Two designs that should be observably equivalent are not."""
 
 
+class ServeError(ReproError):
+    """Job-service layer problem (:mod:`repro.serve`).
+
+    Carries the HTTP status the server maps it to, so one exception
+    type renders consistently on both sides of the wire.
+    """
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class QueueFullError(ServeError):
+    """The bounded job queue is full; retry after ``retry_after_s``.
+
+    The HTTP layer renders this as 429 with a ``Retry-After`` header —
+    explicit backpressure instead of unbounded buffering.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(message, status=429)
+        self.retry_after_s = retry_after_s
+
+
+class ServiceStoppedError(ServeError):
+    """The job service is shutting down and no longer accepts work."""
+
+    def __init__(self, message: str = "service is shutting down") -> None:
+        super().__init__(message, status=503)
+
+
+class JobNotFoundError(ServeError):
+    """An unknown job id was queried."""
+
+    def __init__(self, job_id: str) -> None:
+        super().__init__(f"no such job: {job_id}", status=404)
+        self.job_id = job_id
+
+
 class FaultInjectionError(ReproError):
     """A fault could not be injected at the requested site.
 

@@ -1,6 +1,12 @@
 """repro.obs — zero-dependency tracing + metrics for the whole pipeline.
 
-One module-level *recorder* is current at any time. By default it is the
+One *recorder* is current at any time **per context**: the recorder
+lives in a :class:`contextvars.ContextVar`, so each thread (and each
+``contextvars`` context) resolves instrumentation calls independently —
+a recorder installed in one request-handling thread is invisible to
+every other thread. That is what lets the threaded job server
+(:mod:`repro.serve`) give every request its own trace without
+cross-request pollution. By default the current recorder is the
 :data:`NULL` recorder: every facade call (``obs.span``, ``obs.counter``,
 ...) then resolves to a cached no-op object, so instrumented call sites
 cost a function call and one branch — nothing is allocated, timed or
@@ -30,6 +36,7 @@ deterministically (task order, not completion order) by the pool.
 from __future__ import annotations
 
 import contextlib
+import contextvars
 from typing import Iterator, Optional
 
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
@@ -221,60 +228,73 @@ class _NullRecorder:
 #: The shared disabled recorder (the default).
 NULL = _NullRecorder()
 
-_current = NULL
+# The current recorder is context-local, not a module global: each
+# thread / contextvars context resolves its own recorder, so concurrent
+# request handlers recording into different recorders never see each
+# other's spans or metrics. A freshly started thread begins at the
+# default (NULL) — install a recorder with `use()`/`enable()` inside
+# the thread that records.
+_current: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_obs_recorder", default=NULL
+)
 
 
 def current() -> Recorder:
     """The recorder instrumentation calls resolve against right now."""
-    return _current
+    return _current.get()
 
 
 def enabled() -> bool:
     """True when an active (non-null) recorder is installed."""
-    return _current.enabled
+    return _current.get().enabled
 
 
 def span(name: str, category: str = "", **attrs: object):
     """Open a span on the current recorder (no-op context when disabled)."""
-    return _current.span(name, category, **attrs)
+    return _current.get().span(name, category, **attrs)
 
 
 def counter(name: str, **labels: object):
-    return _current.counter(name, **labels)
+    return _current.get().counter(name, **labels)
 
 
 def gauge(name: str, **labels: object):
-    return _current.gauge(name, **labels)
+    return _current.get().gauge(name, **labels)
 
 
 def histogram(name: str, **labels: object):
-    return _current.histogram(name, **labels)
+    return _current.get().histogram(name, **labels)
 
 
 def current_span() -> Optional[Span]:
-    return _current.current_span
+    return _current.get().current_span
 
 
 @contextlib.contextmanager
 def use(recorder: Recorder) -> Iterator[Recorder]:
-    """Install ``recorder`` for the duration of the block."""
-    global _current
-    previous = _current
-    _current = recorder
+    """Install ``recorder`` for the duration of the block (this context).
+
+    Context-local: a recorder installed here is seen only by code
+    running in the same thread / ``contextvars`` context, so concurrent
+    ``use()`` blocks on different threads are fully isolated.
+    """
+    token = _current.set(recorder)
     try:
         yield recorder
     finally:
-        _current = previous
+        _current.reset(token)
 
 
 def enable(track: str = MAIN_TRACK) -> Recorder:
-    """Install (and return) a fresh active recorder until :func:`disable`."""
-    global _current
-    _current = Recorder(track=track)
-    return _current
+    """Install (and return) a fresh active recorder until :func:`disable`.
+
+    Affects the current thread/context only (see :func:`use`).
+    """
+    recorder = Recorder(track=track)
+    _current.set(recorder)
+    return recorder
 
 
 def disable() -> None:
-    """Reinstall the no-op recorder."""
-    global _current
-    _current = NULL
+    """Reinstall the no-op recorder (in the current thread/context)."""
+    _current.set(NULL)

@@ -29,9 +29,11 @@ kwargs keep working as deprecated aliases that emit a
 
 from __future__ import annotations
 
+import hashlib
+import json
 import warnings
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import dataclass, field, fields, replace
+from typing import Mapping, Optional
 
 from repro.errors import ReproError
 
@@ -104,6 +106,49 @@ class RunConfig:
     def replace(self, **overrides) -> "RunConfig":
         """A copy with the given fields changed."""
         return replace(self, **overrides)
+
+    # -- transport / identity ------------------------------------------
+    def to_dict(self) -> dict:
+        """All fields as a plain JSON-serialisable dict."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "RunConfig":
+        """Build a config from a (possibly partial) dict.
+
+        Unknown keys raise :class:`~repro.errors.ReproError` instead of
+        being silently dropped — a misspelled knob in a remote job
+        request must not quietly run with defaults.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ReproError(
+                f"unknown RunConfig field(s) {unknown}; known: {sorted(known)}"
+            )
+        return cls(**dict(payload))
+
+    def fingerprint(self) -> str:
+        """Canonical digest of the fields that determine *results*.
+
+        Covers ``cycles``, ``warmup``, ``seed`` and ``engine``.
+        ``workers`` and ``trace`` are deliberately excluded: results are
+        bit-exact across worker counts (``docs/parallelism.md``) and
+        tracing never changes outputs, so configs differing only in
+        those knobs are interchangeable for content-addressed caching
+        (the key of the :mod:`repro.serve` result cache).
+        """
+        canonical = json.dumps(
+            {
+                "cycles": self.cycles,
+                "warmup": self.warmup,
+                "seed": self.seed,
+                "engine": self.engine,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(canonical.encode()).hexdigest()
 
 
 def resolve_run_config(

@@ -1,0 +1,51 @@
+"""repro.serve — the production job-service layer.
+
+Turns the in-process :class:`repro.api.Session` API into a long-running
+multi-client service (stdlib only, like :mod:`repro.obs` and
+:mod:`repro.parallel`):
+
+* :class:`JobService` — bounded job queue + worker threads + a
+  content-addressed :class:`ResultCache` keyed by design structure
+  fingerprint × :meth:`RunConfig.fingerprint` × method parameters;
+* :class:`ReproServer` / :func:`make_server` — the threaded HTTP/JSON
+  front end (``/v1/jobs``, ``/healthz``, ``/metrics``, graceful
+  shutdown);
+* :class:`ServeClient` — the stdlib Python client.
+
+CLI entry points: ``repro serve`` and ``repro submit``. The full
+protocol, cache semantics and ops runbook live in ``docs/serving.md``.
+"""
+
+from repro.serve.cache import ResultCache, job_cache_key
+from repro.serve.client import ServeClient
+from repro.serve.http import DEFAULT_HOST, DEFAULT_PORT, ReproServer, make_server
+from repro.serve.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    METHODS,
+    QUEUED,
+    RUNNING,
+    STATES,
+    Job,
+    JobService,
+)
+
+__all__ = [
+    "JobService",
+    "Job",
+    "ResultCache",
+    "job_cache_key",
+    "ReproServer",
+    "make_server",
+    "ServeClient",
+    "METHODS",
+    "STATES",
+    "QUEUED",
+    "RUNNING",
+    "DONE",
+    "FAILED",
+    "CANCELLED",
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+]

@@ -1,0 +1,114 @@
+"""Content-addressed result cache for the job service.
+
+A cache entry is keyed by *what was asked*, never by *who asked*:
+``job_cache_key`` folds the method name, the design's structural
+fingerprint (:func:`repro.sim.compile.design_fingerprint`), the
+:meth:`RunConfig.fingerprint` and the canonicalised method parameters
+into one SHA-256 digest. Two clients submitting the same analysis of
+structurally identical designs therefore share one entry — the second
+submission is answered without recomputation, which is the whole point
+of running the Algorithm-1 pipeline behind a long-lived service.
+
+Cached values are the deterministic *result payloads* built by
+:mod:`repro.serve.jobs` (wall-clock timings are kept out of them), so a
+cache hit is byte-identical to the miss that populated it.
+
+Eviction is LRU with a fixed entry capacity; ``capacity=0`` disables
+caching entirely. Hit/miss/eviction counts feed the
+``serve.cache.hits`` / ``serve.cache.misses`` / ``serve.cache.evictions``
+counters of the service's metrics registry (scraped via ``/metrics``).
+All operations are guarded by one lock — the registry itself is not
+thread-safe, so the counters are only ever touched under it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+
+
+def canonical_json(payload: object) -> str:
+    """Deterministic JSON rendering (sorted keys, no whitespace)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def job_cache_key(
+    method: str, design_fingerprint: str, run_fingerprint: str, params: dict
+) -> str:
+    """The content address of one job's result."""
+    canonical = canonical_json(
+        {
+            "method": method,
+            "design": design_fingerprint,
+            "run": run_fingerprint,
+            "params": params,
+        }
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class ResultCache:
+    """Thread-safe LRU cache of job result payloads.
+
+    Counters are recorded into ``metrics`` (the service registry) under
+    the cache's own lock; pass ``None`` for a standalone registry.
+    """
+
+    def __init__(
+        self, capacity: int = 256, metrics: Optional[MetricsRegistry] = None
+    ) -> None:
+        if capacity < 0:
+            raise ValueError(f"cache capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, dict]" = OrderedDict()
+        self._metrics = metrics if metrics is not None else MetricsRegistry()
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Tuple[bool, Optional[dict]]:
+        """``(hit, payload)`` — and the hit/miss counter side effect."""
+        with self._lock:
+            payload = self._entries.get(key)
+            if payload is None:
+                self._metrics.counter("serve.cache.misses").inc()
+                return False, None
+            self._entries.move_to_end(key)
+            self._metrics.counter("serve.cache.hits").inc()
+            return True, payload
+
+    def put(self, key: str, payload: dict) -> None:
+        """Insert (or refresh) an entry, evicting LRU entries over capacity."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._entries[key] = payload
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._metrics.counter("serve.cache.evictions").inc()
+            self._metrics.gauge("serve.cache.entries").set(len(self._entries))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Snapshot for ``/healthz`` and the CLI shutdown summary."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self._metrics.value("serve.cache.hits") or 0,
+                "misses": self._metrics.value("serve.cache.misses") or 0,
+                "evictions": self._metrics.value("serve.cache.evictions") or 0,
+            }

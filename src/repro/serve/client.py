@@ -1,0 +1,141 @@
+"""Thin stdlib client for the ``repro serve`` HTTP API.
+
+:class:`ServeClient` speaks the JSON protocol of
+:mod:`repro.serve.http` over :mod:`urllib.request` — no dependencies,
+so any Python process (a notebook, a what-if exploration loop, the
+``repro submit`` CLI) can drive a remote service::
+
+    from repro.serve.client import ServeClient
+
+    client = ServeClient("http://127.0.0.1:8352")
+    job = client.submit("estimate", builtin="design1",
+                        run={"cycles": 500, "engine": "compiled"})
+    job = client.wait(job["id"])
+    print(job["result"]["total_power_mw"], job["cached"])
+
+Server-side failures surface as :class:`~repro.errors.ServeError`
+(with ``status``) or :class:`~repro.errors.QueueFullError` (with the
+server's ``Retry-After`` backpressure hint) — the same exception types
+the in-process :class:`~repro.serve.jobs.JobService` raises, so calling
+code is transport-agnostic.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Optional
+
+from repro.errors import QueueFullError, ServeError
+
+
+class ServeClient:
+    """One server, many requests. ``base_url`` like ``http://host:port``."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        verb: str,
+        path: str,
+        payload: Optional[dict] = None,
+        as_text: bool = False,
+    ):
+        body = None if payload is None else json.dumps(payload).encode()
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=body,
+            method=verb,
+            headers={"Content-Type": "application/json"} if body else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                raw = resp.read()
+        except urllib.error.HTTPError as exc:
+            raise self._error_from(exc) from None
+        except (urllib.error.URLError, OSError) as exc:
+            raise ServeError(
+                f"cannot reach {self.base_url}: {exc}", status=0
+            ) from exc
+        return raw.decode() if as_text else json.loads(raw)
+
+    @staticmethod
+    def _error_from(exc: urllib.error.HTTPError) -> ServeError:
+        message = f"HTTP {exc.code}"
+        try:
+            detail = json.loads(exc.read()).get("error", {})
+            message = f"{detail.get('type', 'Error')}: {detail.get('message', '')}"
+        except (json.JSONDecodeError, AttributeError, OSError):
+            pass
+        if exc.code == 429:
+            retry_after = float(exc.headers.get("Retry-After") or 1.0)
+            return QueueFullError(message, retry_after_s=retry_after)
+        return ServeError(message, status=exc.code)
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        method: str,
+        design: Optional[str] = None,
+        builtin: Optional[str] = None,
+        run: Optional[dict] = None,
+        params: Optional[dict] = None,
+    ) -> dict:
+        """Submit a job; returns the job record (maybe already ``done``)."""
+        body = {"method": method}
+        if design is not None:
+            body["design"] = design
+        if builtin is not None:
+            body["builtin"] = builtin
+        if run:
+            body["run"] = run
+        if params:
+            body["params"] = params
+        return self._request("POST", "/v1/jobs", body)
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self) -> list:
+        return self._request("GET", "/v1/jobs")["jobs"]
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("DELETE", f"/v1/jobs/{job_id}")
+
+    def wait(
+        self, job_id: str, timeout: float = 300.0, poll_s: float = 0.05
+    ) -> dict:
+        """Poll until the job leaves the queue/running states."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["state"] not in ("queued", "running"):
+                return job
+            if time.monotonic() >= deadline:
+                raise ServeError(
+                    f"timed out after {timeout}s waiting for job {job_id}",
+                    status=504,
+                )
+            time.sleep(poll_s)
+
+    def submit_and_wait(self, *args, timeout: float = 300.0, **kwargs) -> dict:
+        job = self.submit(*args, **kwargs)
+        if job["state"] in ("queued", "running"):
+            job = self.wait(job["id"], timeout=timeout)
+        return job
+
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics_text(self) -> str:
+        return self._request("GET", "/metrics", as_text=True)
+
+    def shutdown(self) -> dict:
+        """Ask the server to drain and stop."""
+        return self._request("POST", "/v1/admin/shutdown", {})

@@ -1,0 +1,228 @@
+"""Threaded HTTP/JSON front end of the job service.
+
+Stdlib only (:mod:`http.server`). Endpoints:
+
+========  =====================  ==============================================
+Method    Path                   Meaning
+========  =====================  ==============================================
+POST      ``/v1/jobs``           Submit a job. Body: ``{"method", "design" |
+                                 "builtin", "run", "params"}``. 202 with the
+                                 job record (immediately ``done`` +
+                                 ``cached: true`` on a cache hit); 429 +
+                                 ``Retry-After`` when the queue is full; 400
+                                 on a malformed request; 503 when draining.
+GET       ``/v1/jobs``           Recent job summaries (no result bodies).
+GET       ``/v1/jobs/<id>``      Full job record including result/error.
+DELETE    ``/v1/jobs/<id>``      Cancel a queued job.
+GET       ``/healthz``           Service status snapshot.
+GET       ``/metrics``           Prometheus text exposition
+                                 (:meth:`MetricsRegistry.prometheus_text`).
+POST      ``/v1/admin/shutdown`` Graceful shutdown: stop intake, drain
+                                 in-flight jobs, stop the server.
+========  =====================  ==============================================
+
+Every error body is structured the same way the rest of the library
+reports problems: ``{"error": {"type", "message", "diagnostics": [...]}}``
+with :class:`~repro.diagnostics.Diagnostic` records inside.
+
+Each request is wrapped in its own ``serve.request`` span recorded into
+a per-request recorder (the contextvar-based :mod:`repro.obs` keeps the
+server's concurrent handler threads isolated) and then merged into the
+service recorder, so ``/metrics`` exposes ``serve_requests`` counters
+and ``serve_request_duration_s`` histograms alongside the job metrics.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from repro import obs
+from repro.errors import QueueFullError, ReproError, ServeError
+
+from .jobs import JobService, _error_payload
+
+#: Default bind of ``repro serve``.
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8352
+
+
+class ReproServer(ThreadingHTTPServer):
+    """The threaded HTTP server bound to one :class:`JobService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int], service: JobService) -> None:
+        super().__init__(address, ServeHandler)
+        self.service = service
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def shutdown_gracefully(self, drain: bool = True) -> None:
+        """Drain the job service, then stop accepting connections."""
+        self.service.shutdown(drain=drain)
+        self.shutdown()
+
+
+def make_server(
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    service: Optional[JobService] = None,
+    **service_kwargs,
+) -> ReproServer:
+    """Build a ready-to-run server (``port=0`` binds an ephemeral port)."""
+    return ReproServer((host, port), service or JobService(**service_kwargs))
+
+
+class ServeHandler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:
+        # Request logging is carried by the metrics/trace layer; the
+        # default stderr chatter would swamp the CLI's diagnostics.
+        pass
+
+    @property
+    def service(self) -> JobService:
+        return self.server.service
+
+    # ------------------------------------------------------------------
+    def _send_json(
+        self, status: int, payload: dict, headers: Optional[dict] = None
+    ) -> None:
+        body = json.dumps(payload, indent=2).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, exc: BaseException) -> None:
+        status = exc.status if isinstance(exc, ServeError) else 400
+        headers = {}
+        if isinstance(exc, QueueFullError):
+            headers["Retry-After"] = str(max(1, round(exc.retry_after_s)))
+        self._send_json(status, {"error": _error_payload(exc)}, headers)
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ServeError(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ServeError("request body must be a JSON object")
+        return payload
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, verb: str) -> None:
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        recorder = obs.Recorder(track="serve-http")
+        status_box = {"status": 500}
+        try:
+            with obs.use(recorder):
+                with obs.span(
+                    "serve.request", "serve", verb=verb, path=path
+                ) as span:
+                    status_box["status"] = self._route(verb, path)
+                    span.set(status=status_box["status"])
+        finally:
+            service = self.service
+            with service._obs_lock:
+                service.recorder.absorb(
+                    recorder.trace_payload(), recorder.metrics
+                )
+                service.recorder.counter(
+                    "serve.requests",
+                    verb=verb,
+                    path=_metric_path(path),
+                    status=status_box["status"],
+                ).inc()
+
+    def _route(self, verb: str, path: str) -> int:
+        try:
+            if verb == "GET" and path == "/healthz":
+                self._send_json(200, self.service.status())
+                return 200
+            if verb == "GET" and path == "/metrics":
+                self._send_text(
+                    200, self.service.metrics_text(), "text/plain; version=0.0.4"
+                )
+                return 200
+            if verb == "POST" and path == "/v1/jobs":
+                body = self._read_body()
+                job = self.service.submit(
+                    method=body.get("method", ""),
+                    design=body.get("design"),
+                    builtin=body.get("builtin"),
+                    run=body.get("run"),
+                    params=body.get("params"),
+                )
+                self._send_json(202, job.to_dict())
+                return 202
+            if verb == "GET" and path == "/v1/jobs":
+                summaries = [
+                    job.to_dict(include_result=False)
+                    for job in self.service.jobs()
+                ]
+                self._send_json(200, {"jobs": summaries})
+                return 200
+            if path.startswith("/v1/jobs/"):
+                job_id = path[len("/v1/jobs/") :]
+                if verb == "GET":
+                    self._send_json(200, self.service.get(job_id).to_dict())
+                    return 200
+                if verb == "DELETE":
+                    self._send_json(200, self.service.cancel(job_id).to_dict())
+                    return 200
+            if verb == "POST" and path == "/v1/admin/shutdown":
+                # Answer first, then drain: shutting the listener down
+                # from inside a handler thread would deadlock the reply.
+                self._send_json(200, {"status": "draining"})
+                threading.Thread(
+                    target=self.server.shutdown_gracefully, daemon=True
+                ).start()
+                return 200
+            raise ServeError(f"no such endpoint: {verb} {path}", status=404)
+        except (ReproError, ValueError) as exc:
+            status = exc.status if isinstance(exc, ServeError) else 400
+            self._send_error_json(exc)
+            return status
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._dispatch("DELETE")
+
+
+def _metric_path(path: str) -> str:
+    """Collapse per-job paths so the label set stays bounded."""
+    if path.startswith("/v1/jobs/"):
+        return "/v1/jobs/{id}"
+    return path

@@ -1,0 +1,584 @@
+"""The job service: bounded queue, worker threads, job lifecycle.
+
+:class:`JobService` turns the :class:`repro.api.Session` API into an
+asynchronous multi-client workload:
+
+* ``submit()`` validates the request *synchronously* (unknown method,
+  bad parameters, unparseable design and unknown ``RunConfig`` fields
+  fail fast, before anything is queued), computes the job's content
+  address and either answers it from the :class:`ResultCache` —
+  ``cached: true``, no queue slot consumed — or enqueues it;
+* a fixed set of worker **threads** executes queued jobs through a
+  fresh :class:`~repro.api.Session` each, recording a per-job trace
+  into a private :class:`~repro.obs.Recorder` (the contextvar-based
+  ``obs`` layer keeps concurrent jobs fully isolated) that is merged
+  into the service recorder when the job finishes;
+* the queue is **bounded**: when it is full, ``submit()`` raises
+  :class:`~repro.errors.QueueFullError` carrying a ``retry_after_s``
+  hint — the HTTP layer renders that as 429 + ``Retry-After`` instead
+  of buffering without limit;
+* ``shutdown(drain=True)`` stops intake and lets the workers finish
+  every queued job before returning (``drain=False`` cancels what has
+  not started yet).
+
+Job states: ``queued → running → done | failed``, plus ``cancelled``
+for jobs revoked before a worker picked them up.
+
+Result payloads are **deterministic**: they contain no wall-clock
+timings, so a payload computed once, served from cache and recomputed
+from scratch are all byte-identical (the equivalence the smoke test and
+``tests/test_serve*.py`` pin down). Wall-clock data lives in the job
+*metadata* (``duration_s``) and the observability layer instead.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.api import Session
+from repro.diagnostics import Diagnostic, errors_only
+from repro.errors import (
+    JobNotFoundError,
+    QueueFullError,
+    ReproError,
+    ServeError,
+    ServiceStoppedError,
+)
+from repro.netlist import textio
+from repro.netlist.design import Design
+from repro.runconfig import RunConfig
+from repro.sim.compile import design_fingerprint
+
+from .cache import ResultCache, job_cache_key
+
+#: Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+STATES = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+
+_STOP = object()  # worker-thread sentinel
+
+
+# ----------------------------------------------------------------------
+# Methods: name -> (allowed params, payload builder)
+# ----------------------------------------------------------------------
+def _result_validate(session: Session, params: dict) -> dict:
+    diagnostics = session.validate(
+        allow_dangling=bool(params.get("allow_dangling", False))
+    )
+    return {
+        "design": session.design.name,
+        "ok": not errors_only(diagnostics),
+        "diagnostics": [d.to_dict() for d in diagnostics],
+    }
+
+
+def _result_estimate(session: Session, params: dict) -> dict:
+    breakdown = session.estimate()
+    cells = sorted(session.design.cells, key=lambda c: c.name)
+    return {
+        "design": session.design.name,
+        "total_power_mw": breakdown.total_power_mw,
+        "overhead_power_mw": breakdown.overhead_power_mw,
+        "cell_power_mw": {c.name: breakdown.cell_power_mw(c) for c in cells},
+        "module_power_mw": dict(sorted(breakdown.module_power_mw().items())),
+    }
+
+
+def _result_isolate(session: Session, params: dict) -> dict:
+    result = session.isolate(style=params.get("style"))
+    payload = result.to_dict()
+    # Wall-clock stage timings are run metadata, not content — keeping
+    # them out makes cached and fresh payloads byte-identical.
+    payload.pop("timings", None)
+    return payload
+
+
+def _result_rank(session: Session, params: dict) -> dict:
+    ranked = session.rank(
+        style=params.get("style", "and"),
+        clock_period=params.get("clock_period"),
+        lookahead_depth=int(params.get("lookahead_depth", 0)),
+    )
+    return {
+        "design": session.design.name,
+        "style": params.get("style", "and"),
+        "candidates": [r.to_dict() for r in ranked],
+    }
+
+
+def _result_compare(session: Session, params: dict) -> dict:
+    comparison = session.compare(styles=params.get("styles"))
+    rows = []
+    for row in comparison.rows:
+        rows.append(
+            {
+                "label": row.label,
+                "power_mw": row.power_mw,
+                "area_um2": row.area,
+                "slack_ns": row.slack,
+                "power_reduction": row.power_reduction,
+                "area_increase": row.area_increase,
+            }
+        )
+    return {"design": session.design.name, "rows": rows}
+
+
+def _result_activation(session: Session, params: dict) -> dict:
+    analysis = session.activation()
+    modules = sorted(session.design.datapath_modules, key=lambda c: c.name)
+    return {
+        "design": session.design.name,
+        "activation": {m.name: str(analysis.of_module(m)) for m in modules},
+    }
+
+
+#: The Session API surface exposed as job methods.
+METHODS: Dict[str, Tuple[frozenset, Callable[[Session, dict], dict]]] = {
+    "validate": (frozenset({"allow_dangling"}), _result_validate),
+    "estimate": (frozenset(), _result_estimate),
+    "isolate": (frozenset({"style"}), _result_isolate),
+    "rank": (
+        frozenset({"style", "clock_period", "lookahead_depth"}),
+        _result_rank,
+    ),
+    "compare": (frozenset({"styles"}), _result_compare),
+    "activation": (frozenset(), _result_activation),
+}
+
+_ISOLATION_STYLES = ("and", "or", "latch")
+
+
+def _validate_params(method: str, params: dict) -> dict:
+    allowed, _ = METHODS[method]
+    unknown = sorted(set(params) - allowed)
+    if unknown:
+        raise ServeError(
+            f"unknown parameter(s) {unknown} for method {method!r}; "
+            f"allowed: {sorted(allowed)}"
+        )
+    style = params.get("style")
+    if style is not None and style not in _ISOLATION_STYLES:
+        raise ServeError(
+            f"unknown style {style!r}; choose one of {_ISOLATION_STYLES}"
+        )
+    for style in params.get("styles") or ():
+        if style not in _ISOLATION_STYLES:
+            raise ServeError(
+                f"unknown style {style!r}; choose one of {_ISOLATION_STYLES}"
+            )
+    return params
+
+
+def _builtin_design(name: str) -> Design:
+    """Resolve a builtin design name (generator name or CLI alias)."""
+    import repro.designs as designs
+
+    aliases = {
+        "fig1": "paper_example",
+        "fir": "fir_datapath",
+        "alu": "alu_control_dominated",
+        "bus": "shared_bus_datapath",
+        "pipeline": "lookahead_pipeline",
+        "soc": "soc_datapath",
+        "cordic": "cordic_pipeline",
+    }
+    target = aliases.get(name, name)
+    if target not in designs.__all__ or target == "random_datapath":
+        raise ServeError(f"unknown builtin design {name!r}")
+    return getattr(designs, target)()
+
+
+def _error_payload(exc: BaseException) -> dict:
+    """Structured error body: exception type + Diagnostic records."""
+    code = "".join(
+        "-" + ch.lower() if ch.isupper() else ch for ch in type(exc).__name__
+    ).lstrip("-")
+    diagnostic = Diagnostic(code=code, message=str(exc), severity="error")
+    return {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "diagnostics": [diagnostic.to_dict()],
+    }
+
+
+# ----------------------------------------------------------------------
+# Jobs
+# ----------------------------------------------------------------------
+@dataclass
+class Job:
+    """One asynchronous analysis request and its lifecycle record."""
+
+    id: str
+    method: str
+    design: Design
+    design_name: str
+    fingerprint: str
+    run: RunConfig
+    params: dict
+    cache_key: str
+    state: str = QUEUED
+    cached: bool = False
+    result: Optional[dict] = None
+    error: Optional[dict] = None
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.state in (DONE, FAILED, CANCELLED)
+
+    @property
+    def duration_s(self) -> Optional[float]:
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    def to_dict(self, include_result: bool = True) -> dict:
+        """Wire representation (summary with ``include_result=False``)."""
+        payload = {
+            "id": self.id,
+            "method": self.method,
+            "design": self.design_name,
+            "fingerprint": self.fingerprint,
+            "cache_key": self.cache_key,
+            "state": self.state,
+            "cached": self.cached,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "duration_s": self.duration_s,
+        }
+        if include_result:
+            payload["result"] = self.result
+            payload["error"] = self.error
+        return payload
+
+
+# ----------------------------------------------------------------------
+# The service
+# ----------------------------------------------------------------------
+class JobService:
+    """Bounded-queue job executor with a content-addressed result cache.
+
+    Parameters
+    ----------
+    queue_size:
+        Maximum queued (not yet running) jobs; submissions beyond it
+        raise :class:`~repro.errors.QueueFullError`.
+    job_workers:
+        Worker threads executing jobs.
+    cache_capacity:
+        Result-cache entries kept (LRU beyond that; 0 disables).
+    default_run:
+        :class:`RunConfig` applied when a request carries none; per-job
+        request fields override it.
+    start:
+        Start the worker threads immediately. Tests pass ``False`` to
+        exercise queue backpressure and cancellation deterministically,
+        then call :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        queue_size: int = 64,
+        job_workers: int = 2,
+        cache_capacity: int = 256,
+        default_run: Optional[RunConfig] = None,
+        start: bool = True,
+    ) -> None:
+        if queue_size < 1:
+            raise ValueError(f"queue_size must be >= 1, got {queue_size}")
+        if job_workers < 1:
+            raise ValueError(f"job_workers must be >= 1, got {job_workers}")
+        self.queue_size = queue_size
+        self.job_workers = job_workers
+        self.default_run = default_run or RunConfig()
+        self.recorder = obs.Recorder(track="serve")
+        # One lock guards the (not thread-safe) service recorder: the
+        # metrics registry, the tracer and everything absorbed into them.
+        self._obs_lock = threading.RLock()
+        self.cache = _LockedCache(
+            cache_capacity, self.recorder.metrics, self._obs_lock
+        )
+        self._queue: "queue.Queue" = queue.Queue(maxsize=queue_size)
+        self._jobs: Dict[str, Job] = {}
+        self._jobs_lock = threading.RLock()
+        self._ids = itertools.count(1)
+        self._accepting = True
+        self._threads: List[threading.Thread] = []
+        self._started = False
+        if start:
+            self.start()
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the worker threads (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for index in range(self.job_workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-serve-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        method: str,
+        design: Optional[str] = None,
+        builtin: Optional[str] = None,
+        run: Optional[dict] = None,
+        params: Optional[dict] = None,
+    ) -> Job:
+        """Validate, content-address and enqueue (or cache-answer) a job.
+
+        ``design`` is textual netlist source (:mod:`repro.netlist.textio`
+        format); ``builtin`` names a shipped generator instead. Exactly
+        one of the two must be given. ``run`` is a partial
+        :class:`RunConfig` dict; ``params`` are method parameters.
+        """
+        if not self._accepting:
+            raise ServiceStoppedError()
+        if method not in METHODS:
+            raise ServeError(
+                f"unknown method {method!r}; choose one of {sorted(METHODS)}"
+            )
+        params = _validate_params(method, dict(params or {}))
+        if (design is None) == (builtin is None):
+            raise ServeError("provide exactly one of 'design' and 'builtin'")
+        design_obj = (
+            textio.loads(design) if design is not None else _builtin_design(builtin)
+        )
+        run_cfg = self.default_run
+        if run:
+            RunConfig.from_dict(run)  # rejects unknown fields loudly
+            run_cfg = run_cfg.replace(**dict(run))  # only the named fields
+        run_cfg = run_cfg.replace(trace=False)  # job tracing is service-managed
+        fingerprint = design_fingerprint(design_obj)
+        cache_key = job_cache_key(
+            method, fingerprint, run_cfg.fingerprint(), params
+        )
+        job = Job(
+            id=f"j{next(self._ids):06d}",
+            method=method,
+            design=design_obj,
+            design_name=design_obj.name,
+            fingerprint=fingerprint,
+            run=run_cfg,
+            params=params,
+            cache_key=cache_key,
+        )
+        with self._jobs_lock:
+            self._jobs[job.id] = job
+        with self._obs_lock:
+            self.recorder.counter("serve.jobs.submitted", method=method).inc()
+        hit, payload = self.cache.get(cache_key)
+        if hit:
+            job.cached = True
+            job.result = payload
+            job.state = DONE
+            now = time.time()
+            job.started_at = job.finished_at = now
+            with self._obs_lock:
+                self.recorder.counter("serve.jobs.completed", state=DONE).inc()
+            return job
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            with self._jobs_lock:
+                del self._jobs[job.id]
+            with self._obs_lock:
+                self.recorder.counter("serve.jobs.rejected").inc()
+            raise QueueFullError(
+                f"job queue is full ({self.queue_size} queued); retry later",
+                retry_after_s=self._retry_after_s(),
+            ) from None
+        self._set_queue_gauge()
+        return job
+
+    def _retry_after_s(self) -> float:
+        """Backpressure hint: how long until a queue slot likely frees."""
+        with self._obs_lock:
+            snapshot = self.recorder.metrics.value("serve.job.duration_s")
+        mean = (snapshot or {}).get("mean", 0.0) if snapshot else 0.0
+        if mean <= 0.0:
+            return 1.0
+        estimate = mean * self.queue_size / max(1, self.job_workers)
+        return max(1.0, min(60.0, estimate))
+
+    def _set_queue_gauge(self) -> None:
+        with self._obs_lock:
+            self.recorder.gauge("serve.queue.depth").set(self._queue.qsize())
+
+    # ------------------------------------------------------------------
+    def get(self, job_id: str) -> Job:
+        with self._jobs_lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise JobNotFoundError(job_id)
+        return job
+
+    def jobs(self, limit: int = 100) -> List[Job]:
+        """Most recent jobs, newest first."""
+        with self._jobs_lock:
+            recent = list(self._jobs.values())[-limit:]
+        return list(reversed(recent))
+
+    def cancel(self, job_id: str) -> Job:
+        """Revoke a queued job (running/finished jobs are left alone)."""
+        job = self.get(job_id)
+        with self._jobs_lock:
+            if job.state == QUEUED:
+                job.state = CANCELLED
+                job.finished_at = time.time()
+                with self._obs_lock:
+                    self.recorder.counter(
+                        "serve.jobs.completed", state=CANCELLED
+                    ).inc()
+        return job
+
+    def wait(self, job_id: str, timeout: float = 60.0, poll_s: float = 0.01) -> Job:
+        """Block until the job finishes (in-process convenience)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.get(job_id)
+            if job.finished:
+                return job
+            if time.monotonic() >= deadline:
+                raise ServeError(
+                    f"timed out after {timeout}s waiting for job {job_id}",
+                    status=504,
+                )
+            time.sleep(poll_s)
+
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            try:
+                if item is _STOP:
+                    return
+                self._execute(item)
+            finally:
+                self._queue.task_done()
+                self._set_queue_gauge()
+
+    def _execute(self, job: Job) -> None:
+        with self._jobs_lock:
+            if job.state != QUEUED:  # cancelled while queued
+                return
+            job.state = RUNNING
+            job.started_at = time.time()
+        recorder = obs.Recorder(track=f"serve:{job.id}")
+        try:
+            with obs.use(recorder):
+                with obs.span(
+                    "serve.job",
+                    "serve",
+                    job=job.id,
+                    method=job.method,
+                    design=job.design_name,
+                    fingerprint=job.fingerprint[:12],
+                ):
+                    _, builder = METHODS[job.method]
+                    session = Session(job.design, run=job.run)
+                    payload = builder(session, job.params)
+            self.cache.put(job.cache_key, payload)
+            job.result = payload
+            job.state = DONE
+        except ReproError as exc:
+            job.error = _error_payload(exc)
+            job.state = FAILED
+        except Exception as exc:  # defensive: a job must never kill a worker
+            job.error = _error_payload(exc)
+            job.state = FAILED
+        finally:
+            job.finished_at = time.time()
+            with self._obs_lock:
+                self.recorder.absorb(
+                    recorder.trace_payload(),
+                    recorder.metrics,
+                    track=f"serve:{job.id}",
+                )
+                self.recorder.counter(
+                    "serve.jobs.completed", state=job.state
+                ).inc()
+                self.recorder.histogram("serve.job.duration_s").observe(
+                    job.duration_s or 0.0
+                )
+
+    # ------------------------------------------------------------------
+    def status(self) -> dict:
+        """Health snapshot (the ``/healthz`` body)."""
+        with self._jobs_lock:
+            counts: Dict[str, int] = {state: 0 for state in STATES}
+            for job in self._jobs.values():
+                counts[job.state] += 1
+        return {
+            "status": "ok" if self._accepting else "draining",
+            "accepting": self._accepting,
+            "queue_depth": self._queue.qsize(),
+            "queue_size": self.queue_size,
+            "job_workers": self.job_workers,
+            "jobs": counts,
+            "cache": self.cache.stats(),
+        }
+
+    def metrics_text(self) -> str:
+        """Prometheus exposition of the service registry."""
+        with self._obs_lock:
+            self.recorder.gauge("serve.queue.depth").set(self._queue.qsize())
+            return self.recorder.metrics.prometheus_text()
+
+    @property
+    def accepting(self) -> bool:
+        return self._accepting
+
+    # ------------------------------------------------------------------
+    def shutdown(self, drain: bool = True, timeout: float = 60.0) -> None:
+        """Stop intake; drain (or cancel) queued work; join the workers.
+
+        Idempotent. With ``drain=True`` every job already queued still
+        runs to completion; with ``drain=False`` queued jobs are
+        cancelled and only in-flight ones finish.
+        """
+        self._accepting = False
+        if not drain:
+            with self._jobs_lock:
+                queued = [j for j in self._jobs.values() if j.state == QUEUED]
+            for job in queued:
+                self.cancel(job.id)
+        if self._started:
+            # Sentinels queue *behind* remaining jobs, so workers finish
+            # the backlog before exiting. put() may block briefly when
+            # the queue is full of real jobs — that is the drain.
+            for _ in self._threads:
+                self._queue.put(_STOP)
+            for thread in self._threads:
+                thread.join(timeout)
+            self._threads = []
+            self._started = False
+
+
+class _LockedCache(ResultCache):
+    """ResultCache sharing the service's recorder lock for its counters."""
+
+    def __init__(self, capacity, metrics, lock) -> None:
+        super().__init__(capacity, metrics)
+        self._lock = lock

@@ -117,6 +117,26 @@ def design_structure_hash(design: Design) -> str:
     return digest.hexdigest()
 
 
+def design_fingerprint(design: Design) -> str:
+    """Public content-addressed fingerprint of a design's structure.
+
+    Covers every net (name, width), every cell (type, kind, name,
+    scalar parameters, per-port wiring) and — because primary
+    inputs/outputs and constants are cells — all ports. Two designs
+    share a fingerprint iff they are structurally identical: a rebuild
+    of the same generator or a ``copy()`` collides, any structural edit
+    (adding/removing/renaming a cell or net, rewiring a port, changing
+    a width or parameter) changes the digest. Simulation state, net
+    values and the design *name* do not enter the fingerprint.
+
+    This is the same digest that keys the compiled-program cache
+    (:class:`ProgramCache`) and the :mod:`repro.serve` result cache, so
+    one identity is shared by all content-addressed layers. Also
+    reachable as :meth:`repro.api.Session.fingerprint`.
+    """
+    return design_structure_hash(design)
+
+
 def _group_key(cells: Sequence[Cell]) -> str:
     """Structural hash of one compiled unit (block / drive / commit)."""
     digest = hashlib.sha256()

@@ -1,0 +1,95 @@
+"""Concurrent Session use: threaded results == serial results, bytewise.
+
+The job service runs Sessions on worker threads, so the whole pipeline
+(program cache, BDD activation, estimation, the Algorithm-1 loop) must
+be safe to drive from several threads at once — and not merely safe:
+every thread's result must be byte-identical to the serial run. This
+guards the compiled-program cache's locking and the contextvar-based
+observability layer (a recorder on one thread must not leak spans or
+metrics into another).
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ThreadPoolExecutor
+
+from repro import api, obs
+from repro.designs import (
+    alu_control_dominated,
+    design1,
+    design2,
+    fir_datapath,
+    paper_example,
+)
+from repro.runconfig import RunConfig
+
+RUN = RunConfig(cycles=150, warmup=8, engine="compiled", workers=1)
+
+MAKERS = [
+    paper_example,
+    design1,
+    design2,
+    fir_datapath,
+    alu_control_dominated,
+]
+
+
+def estimate_payload(maker) -> str:
+    session = api.Session(maker(), run=RUN)
+    breakdown = session.estimate()
+    cells = sorted(session.design.cells, key=lambda c: c.name)
+    return json.dumps(
+        {
+            "design": session.design.name,
+            "total_power_mw": breakdown.total_power_mw,
+            "cell_power_mw": {c.name: breakdown.cell_power_mw(c) for c in cells},
+        },
+        sort_keys=True,
+    )
+
+
+def isolate_payload(maker) -> str:
+    session = api.Session(maker(), run=RUN)
+    payload = session.isolate(style="and").to_dict()
+    payload.pop("timings", None)  # wall clock is the one legitimate diff
+    return json.dumps(payload, sort_keys=True)
+
+
+class TestConcurrentSessions:
+    def test_threaded_estimate_is_byte_identical_to_serial(self):
+        serial = [estimate_payload(maker) for maker in MAKERS]
+        with ThreadPoolExecutor(max_workers=len(MAKERS)) as pool:
+            threaded = list(pool.map(estimate_payload, MAKERS))
+        assert threaded == serial
+
+    def test_threaded_isolate_is_byte_identical_to_serial(self):
+        serial = [isolate_payload(maker) for maker in MAKERS]
+        with ThreadPoolExecutor(max_workers=len(MAKERS)) as pool:
+            threaded = list(pool.map(isolate_payload, MAKERS))
+        assert threaded == serial
+
+    def test_repeated_threaded_runs_agree_with_each_other(self):
+        with ThreadPoolExecutor(max_workers=3) as pool:
+            first = list(pool.map(estimate_payload, MAKERS))
+            second = list(pool.map(estimate_payload, MAKERS))
+        assert first == second
+
+    def test_traced_sessions_do_not_cross_pollute(self):
+        """Each thread's recorder sees only its own design's spans."""
+
+        def traced(maker):
+            recorder = obs.Recorder()
+            with obs.use(recorder):
+                api.Session(maker(), run=RUN).estimate()
+            designs = {
+                span.attrs.get("design")
+                for root in recorder.tracer.roots
+                for span in root.walk()
+                if "design" in span.attrs
+            }
+            return maker().name, designs
+
+        with ThreadPoolExecutor(max_workers=len(MAKERS)) as pool:
+            for name, seen in pool.map(traced, MAKERS):
+                assert seen == {name}

@@ -1,0 +1,145 @@
+"""Content-addressed identity: design and RunConfig fingerprints.
+
+Pins the two halves of the serve cache key:
+
+* :func:`design_fingerprint` — semantically identical rebuilds collide
+  (same generator, a ``copy()``, a textio round trip); every structural
+  edit (cell/net add, rewire, width or parameter change) changes the
+  digest;
+* :meth:`RunConfig.fingerprint` — canonical over the result-determining
+  fields only (``workers``/``trace`` excluded by the bit-exactness
+  contract).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import api
+from repro.designs import (
+    alu_control_dominated,
+    correlated_chain,
+    design1,
+    design2,
+    fir_datapath,
+    lookahead_pipeline,
+    paper_example,
+    random_datapath,
+    shared_bus_datapath,
+    soc_datapath,
+)
+from repro.netlist import textio
+from repro.netlist.builder import DesignBuilder
+from repro.runconfig import RunConfig
+from repro.sim.compile import design_fingerprint
+
+GENERATORS = [
+    paper_example,
+    design1,
+    design2,
+    fir_datapath,
+    alu_control_dominated,
+    shared_bus_datapath,
+    lookahead_pipeline,
+    correlated_chain,
+    soc_datapath,
+]
+
+
+def build(width=8, mux_width=1):
+    """A small parametric design for edit-sensitivity checks."""
+    b = DesignBuilder("probe")
+    a = b.input("A", width)
+    c = b.input("C", width)
+    s = b.input("S", mux_width)
+    g = b.input("G", 1)
+    total = b.add(a, c, name="a0")
+    picked = b.mux(s, total, c, name="m0")
+    q = b.register(picked, enable=g, name="r0")
+    b.output(q, "OUT")
+    return b.build()
+
+
+class TestDesignFingerprint:
+    @pytest.mark.parametrize("maker", GENERATORS, ids=lambda m: m.__name__)
+    def test_rebuilds_collide(self, maker):
+        assert design_fingerprint(maker()) == design_fingerprint(maker())
+
+    def test_copy_and_textio_roundtrip_collide(self, d1):
+        fp = design_fingerprint(d1)
+        assert design_fingerprint(d1.copy()) == fp
+        assert design_fingerprint(textio.loads(textio.dumps(d1))) == fp
+
+    def test_name_does_not_enter_the_digest(self, d1):
+        assert design_fingerprint(d1.copy(name="other")) == design_fingerprint(d1)
+
+    def test_structural_edits_change_the_digest(self):
+        base = design_fingerprint(build())
+        assert design_fingerprint(build(width=9)) != base  # net width
+        bigger = build()
+        extra_b = DesignBuilder("probe2")
+        # A genuinely different structure: one more adder stage.
+        a = extra_b.input("A", 8)
+        c = extra_b.input("C", 8)
+        s = extra_b.input("S", 1)
+        g = extra_b.input("G", 1)
+        total = extra_b.add(a, c, name="a0")
+        total2 = extra_b.add(total, c, name="a1")
+        picked = extra_b.mux(s, total2, c, name="m0")
+        q = extra_b.register(picked, enable=g, name="r0")
+        extra_b.output(q, "OUT")
+        assert design_fingerprint(extra_b.build()) != base
+
+    def test_isolation_transform_changes_the_digest(self, fig1):
+        session = api.Session(
+            fig1, run=RunConfig(cycles=100, warmup=8, engine="compiled")
+        )
+        before = session.fingerprint()
+        result = session.isolate(style="and")
+        assert design_fingerprint(result.design) != before
+        # ... and the original was untouched.
+        assert session.fingerprint() == before
+
+    def test_distinct_generators_have_distinct_digests(self):
+        digests = [design_fingerprint(maker()) for maker in GENERATORS]
+        assert len(set(digests)) == len(digests)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_random_designs_are_self_consistent(self, seed):
+        first = random_datapath(seed=seed)
+        second = random_datapath(seed=seed)
+        assert design_fingerprint(first) == design_fingerprint(second)
+
+    def test_session_fingerprint_is_the_design_fingerprint(self, d1):
+        assert api.Session(d1).fingerprint() == design_fingerprint(d1)
+
+
+class TestRunConfigFingerprint:
+    def test_equal_configs_collide(self):
+        assert (
+            RunConfig(cycles=100, seed=3).fingerprint()
+            == RunConfig(cycles=100, seed=3).fingerprint()
+        )
+
+    @pytest.mark.parametrize(
+        "override",
+        [{"cycles": 2001}, {"warmup": 17}, {"seed": 1}, {"engine": "compiled"}],
+        ids=lambda o: next(iter(o)),
+    )
+    def test_each_semantic_field_enters_the_digest(self, override):
+        assert (
+            RunConfig().fingerprint() != RunConfig(**override).fingerprint()
+        )
+
+    def test_workers_and_trace_are_excluded(self):
+        base = RunConfig().fingerprint()
+        assert RunConfig(workers=4).fingerprint() == base
+        assert RunConfig(trace=True).fingerprint() == base
+
+    def test_roundtrip_through_dict(self):
+        config = RunConfig(cycles=123, warmup=4, seed=9, engine="compiled")
+        clone = RunConfig.from_dict(config.to_dict())
+        assert clone == config
+        assert clone.fingerprint() == config.fingerprint()

@@ -233,6 +233,82 @@ class TestNullRecorder:
         assert not obs.enabled()
 
 
+class TestThreadIsolation:
+    """The recorder is context-local — the fix the threaded server needs.
+
+    Regression for the module-global ``_current``: two recorders active
+    on concurrent threads must each see exactly their own spans and
+    metrics, with zero cross-thread pollution.
+    """
+
+    def test_two_recorders_on_concurrent_threads_stay_isolated(self):
+        import threading
+
+        rounds = 200
+        barrier = threading.Barrier(2)
+        recorders = {}
+        errors = []
+
+        def worker(name: str) -> None:
+            try:
+                recorder = obs.Recorder()
+                recorders[name] = recorder
+                with obs.use(recorder):
+                    barrier.wait(timeout=10)  # maximise interleaving
+                    for index in range(rounds):
+                        with obs.span("work", "test", owner=name, i=index):
+                            obs.counter("ops", owner=name).inc()
+                        assert obs.current() is recorder
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(name,))
+            for name in ("alpha", "beta")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+        for name, recorder in recorders.items():
+            assert len(recorder.tracer.roots) == rounds
+            owners = {s.attrs["owner"] for s in recorder.tracer.roots}
+            assert owners == {name}, f"cross-thread span pollution: {owners}"
+            assert recorder.metrics.value("ops", owner=name) == rounds
+            other = "beta" if name == "alpha" else "alpha"
+            assert recorder.metrics.value("ops", owner=other) is None
+
+    def test_fresh_thread_starts_at_the_null_recorder(self):
+        import threading
+
+        seen = {}
+        with obs.use(obs.Recorder()):
+
+            def probe():
+                seen["enabled"] = obs.enabled()
+                seen["current"] = obs.current()
+
+            thread = threading.Thread(target=probe)
+            thread.start()
+            thread.join(timeout=10)
+        assert seen["enabled"] is False
+        assert seen["current"] is obs.NULL
+
+    def test_enable_in_one_thread_does_not_leak(self):
+        import threading
+
+        def enabler():
+            obs.enable()
+            assert obs.enabled()
+            # No disable(): thread death must not leave a global behind.
+
+        thread = threading.Thread(target=enabler)
+        thread.start()
+        thread.join(timeout=10)
+        assert not obs.enabled()
+
+
 class TestPipelineTrace:
     def test_stage_spans_and_per_candidate_scoring(self):
         result, recorder = _isolate_traced()
