@@ -1,15 +1,16 @@
 """The one-stop facade: ``repro.api``.
 
 Everything the library does — power estimation, candidate ranking,
-Algorithm-1 isolation, style comparison, activation derivation — is
-reachable from one :class:`Session` object bound to a design, a
-stimulus recipe and a :class:`~repro.runconfig.RunConfig`::
+low-power optimization (operand isolation, clock gating, and any
+registered :mod:`repro.opt` pass), style comparison, activation
+derivation — is reachable from one :class:`Session` object bound to a
+design, a stimulus recipe and a :class:`~repro.runconfig.RunConfig`::
 
     from repro import api
 
     session = api.Session(designs.design1(), run=api.RunConfig(engine="compiled"))
     print(session.estimate().total_power_mw)
-    print(session.isolate(style="auto").summary())
+    print(session.optimize(passes=["isolation", "clock_gating"]).summary())
     print(api.format_ranking(session.rank()))
 
 Designs come from :func:`load` / :func:`loads` (textual netlist format)
@@ -47,6 +48,7 @@ from repro.diagnostics import Diagnostic
 from repro.netlist import textio
 from repro.netlist.design import Design
 from repro.netlist.validate import validation_problems
+from repro.opt import OptimizeResult, available_passes, optimize
 from repro.power.estimator import (
     PowerBreakdown,
     PowerInterval,
@@ -207,13 +209,42 @@ class Session:
                 stimulus_kwargs=stimulus_kwargs,
             )
 
+    def optimize(
+        self,
+        passes=("isolation", "clock_gating"),
+        style: Optional[str] = None,
+        config: Optional[IsolationConfig] = None,
+        run: Optional[RunConfig] = None,
+    ) -> OptimizeResult:
+        """Run the greedy low-power loop with the named transform passes.
+
+        This is the primary optimization entry point: ``passes`` lists
+        registered pass families (see
+        :func:`repro.opt.available_passes`) competing under one shared
+        ``CostWeights``/``h_min`` budget; the default applies operand
+        isolation and register clock gating jointly.
+        :meth:`isolate` is the legacy single-pass spelling.
+        """
+        with self._recording(run):
+            return optimize(
+                self.design,
+                self._stimulus_source(run),
+                passes=passes,
+                config=self._config(config, style, run),
+                library=self.library,
+            )
+
     def isolate(
         self,
         style: Optional[str] = None,
         config: Optional[IsolationConfig] = None,
         run: Optional[RunConfig] = None,
     ) -> IsolationResult:
-        """Run Algorithm 1; returns the full :class:`IsolationResult`."""
+        """Run Algorithm 1; returns the full :class:`IsolationResult`.
+
+        Legacy spelling of :meth:`optimize` with the isolation pass
+        alone — same loop, bit-identical result, narrower report.
+        """
         with self._recording(run):
             return isolate_design(
                 self.design,
@@ -313,6 +344,7 @@ __all__ = [
     "ENGINES",
     "IsolationConfig",
     "IsolationResult",
+    "OptimizeResult",
     "StageTimings",
     "CostWeights",
     "PowerBreakdown",
@@ -321,6 +353,8 @@ __all__ = [
     "StyleComparison",
     "estimate_power",
     "estimate_power_ci",
+    "optimize",
+    "available_passes",
     "isolate_design",
     "rank_candidates",
     "compare_styles",

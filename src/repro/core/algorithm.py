@@ -24,25 +24,19 @@ from __future__ import annotations
 import copy
 import time
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Set, Union
+from typing import Callable, List, Optional, Union
 
 from repro import obs
-from repro.core.activation import derive_activation_functions
-from repro.core.candidates import IsolationCandidate, find_candidates
-from repro.core.cost import CandidateCost, CostModel, CostWeights
-from repro.core.isolate import IsolationInstance, isolate_candidate
-from repro.core.savings import SavingsModel
+from repro.core.cost import CandidateCost, CostWeights
+from repro.core.isolate import IsolationInstance
 from repro.errors import IsolationError
 from repro.netlist.design import Design
-from repro.netlist.partition import partition_blocks
 from repro.power.estimator import PowerEstimator
 from repro.power.library import TechnologyLibrary, default_library
 from repro.runconfig import ENGINES, RunConfig, resolve_run_config
-from repro.sim.engine import Simulator, make_simulator
+from repro.sim.engine import make_simulator
 from repro.sim.monitor import ToggleMonitor
 from repro.sim.stimulus import Stimulus
-from repro.timing.impact import estimate_isolation_impact
-from repro.timing.sta import analyze_timing
 
 StimulusSource = Union[Stimulus, Callable[[], Stimulus]]
 
@@ -220,12 +214,17 @@ class StageTimings:
         The span tree is the primary record when tracing is on; this is
         the backward-compatible flat view: ``simulate_s`` sums the
         ``power.estimate`` spans, ``transform_s`` the ``bank.insert``
-        spans, and ``score_s`` is the remainder of the ``isolate`` span —
-        the same decomposition the accumulating counters produce.
+        (and ``clock.gate``) spans, and ``score_s`` is the remainder of
+        the root ``isolate`` — or ``optimize`` — span: the same
+        decomposition the accumulating counters produce.
         """
-        isolate = obs.find_spans(spans, "isolate")
+        isolate = obs.find_spans(spans, "isolate") or obs.find_spans(
+            spans, "optimize"
+        )
         estimates = obs.find_spans(spans, "power.estimate")
-        transforms = obs.find_spans(spans, "bank.insert")
+        transforms = obs.find_spans(spans, "bank.insert") + obs.find_spans(
+            spans, "clock.gate"
+        )
         timings = cls(
             simulate_s=sum(s.duration_s for s in estimates),
             transform_s=sum(s.duration_s for s in transforms),
@@ -439,234 +438,18 @@ def isolate_design(
         )
     library = library or default_library()
 
-    # Worker pool for the per-candidate scoring stage (repro.parallel).
-    # Imported lazily to avoid a core <-> parallel import cycle.
-    from repro.parallel.pool import WorkerPool
+    # Algorithm 1 now lives in the pass-agnostic optimizer (repro.opt);
+    # running it with the isolation pass alone is bit-identical to the
+    # historical loop this function used to own. Imported lazily to
+    # avoid a core <-> opt import cycle.
+    from repro.opt import optimize
 
-    pool = WorkerPool(config.workers)
-
-    with obs.span(
-        "isolate",
-        "stage",
-        design=design.name,
-        style=config.style,
-        engine=config.engine,
-        workers=pool.workers,
-    ):
-        return _run_isolation(design, stimulus, config, library, pool)
-
-
-def _run_isolation(
-    design: Design,
-    stimulus: StimulusSource,
-    config: IsolationConfig,
-    library: TechnologyLibrary,
-    pool,
-) -> IsolationResult:
-    """The traced body of Algorithm 1 (see :func:`isolate_design`)."""
-    from repro.parallel.scoring import score_candidates
-
-    working = design.copy(f"{design.name}_iso_{config.style}")
-
-    timings = StageTimings(engine=config.engine, workers=pool.workers)
-
-    def timed_measure(*args, **kwargs):
-        start = time.perf_counter()
-        out = _measure_power(*args, timings=timings, **kwargs)
-        timings.simulate_s += time.perf_counter() - start
-        timings.simulations += 1
-        return out
-
-    def settle_score() -> None:
-        # Score time = iteration wall time minus what the simulate and
-        # transform stages already claimed.
-        timings.score_s += (
-            (time.perf_counter() - iteration_start)
-            - (timings.simulate_s - simulate_before)
-            - (timings.transform_s - transform_before)
-        )
-
-    # --- Baseline metrics & timing constraint -------------------------
-    reference_timing = analyze_timing(working, library, clock_period=None)
-    period = config.clock_period
-    if period is None:
-        period = reference_timing.clock_period * config.period_margin
-    baseline_timing = analyze_timing(working, library, clock_period=period)
-    baseline_power, _ = timed_measure(working, stimulus, config, library)
-    baseline = DesignMetrics(
-        power_mw=baseline_power,
-        area=library.total_area(working),
-        worst_slack=baseline_timing.worst_slack,
-        clock_period=period,
-    )
-
-    result = IsolationResult(
-        original=design,
-        design=working,
+    return optimize(
+        design,
+        stimulus,
+        passes=("isolation",),
         config=config,
-        baseline=baseline,
-        final=baseline,  # replaced below
-        timings=timings,
-    )
-
-    rejected: Set[str] = set()
-
-    # --- Main loop (Algorithm 1, lines 13–31) -------------------------
-    for index in range(config.max_iterations):
-        with obs.span("isolate.iteration", "stage", index=index) as iteration_span:
-            iteration_start = time.perf_counter()
-            simulate_before = timings.simulate_s
-            transform_before = timings.transform_s
-            blocks = partition_blocks(working)
-            if config.lookahead_depth > 0:
-                from repro.core.lookahead import derive_with_lookahead
-
-                analysis = derive_with_lookahead(working, depth=config.lookahead_depth)
-            else:
-                analysis = derive_activation_functions(working)
-            candidates = find_candidates(working, analysis, blocks)
-
-            # Prune candidates whose activation function is a tautology —
-            # syntactically (f ≡ 1) or semantically (e.g. the OR of a full
-            # mux-select decode): isolation could never block anything.
-            from repro.boolean.bdd import BddManager
-
-            tautology_check = BddManager()
-            eligible: List[IsolationCandidate] = []
-            for c in candidates:
-                if c.isolated or c.name in rejected:
-                    continue
-                if c.always_active:
-                    obs.counter("candidates.rejected", reason="always_active").inc()
-                    continue
-                if tautology_check.is_tautology(c.activation):
-                    obs.counter("candidates.rejected", reason="tautology").inc()
-                    continue
-                eligible.append(c)
-
-            # Slack rejection (lines 5–10; re-checked per iteration because
-            # earlier isolations change arrival times). With style "auto" a
-            # candidate survives if ANY style meets timing; the per-candidate
-            # style choice below only considers the surviving styles.
-            styles = ["and", "or", "latch"] if config.style == "auto" else [config.style]
-            record = IterationRecord(index=index, total_power_mw=0.0)
-            with obs.span("slack.check", "stage", candidates=len(eligible)):
-                timing = analyze_timing(working, library, clock_period=period)
-                slack_ok: List[IsolationCandidate] = []
-                allowed_styles: Dict[str, List[str]] = {}
-                for c in eligible:
-                    passing = []
-                    for style in styles:
-                        impact = estimate_isolation_impact(
-                            working, c.cell, c.activation, style, library, timing
-                        )
-                        if not impact.violates(config.slack_threshold):
-                            passing.append(style)
-                    if passing:
-                        slack_ok.append(c)
-                        allowed_styles[c.name] = passing
-                    else:
-                        rejected.add(c.name)
-                        record.rejected_slack.append(c.name)
-                        obs.counter("candidates.rejected", reason="slack").inc()
-            if not slack_ok:
-                result.iterations.append(record)
-                settle_score()
-                break
-
-            # estimate_power + signal statistics (line 16): one simulation.
-            savings_model = SavingsModel(working, candidates, library)
-            total_power, monitor = timed_measure(
-                working, stimulus, config, library, extra_monitors=[savings_model.probes]
-            )
-            savings_model.calibrate(monitor)
-            record.total_power_mw = total_power
-
-            cost_model = CostModel(
-                savings_model,
-                library,
-                total_power_mw=total_power,
-                total_area=library.total_area(working),
-                weights=config.weights,
-            )
-
-            # Score every surviving (candidate, style) pair — serially or on
-            # the worker pool; both paths are bit-identical (repro.parallel).
-            evaluated = score_candidates(
-                cost_model,
-                [(c.name, style) for c in slack_ok for style in allowed_styles[c.name]],
-                refined=config.refined_savings,
-                pool=pool,
-            )
-
-            # Per block: isolate the best candidate clearing h_min (lines 17–29).
-            performed = False
-            for block in blocks:
-                block_candidates = [
-                    c for c in slack_ok if c.block.index == block.index
-                ]
-                if not block_candidates:
-                    continue
-                scores = []
-                for c in block_candidates:
-                    best_for_candidate = None
-                    for style in allowed_styles[c.name]:
-                        score = evaluated[(c.name, style)]
-                        if best_for_candidate is None or score.h > best_for_candidate.h:
-                            best_for_candidate = score
-                    scores.append(best_for_candidate)
-                record.scores.extend(scores)
-                best = max(scores, key=lambda s: s.h)
-                if best.h >= config.weights.h_min:
-                    transform_start = time.perf_counter()
-                    with obs.span(
-                        "bank.insert",
-                        "transform",
-                        candidate=best.candidate.name,
-                        style=best.savings.style,
-                        block=block.index,
-                    ):
-                        instance = isolate_candidate(
-                            working, best.candidate.cell, best.candidate.activation,
-                            style=best.savings.style,
-                        )
-                    timings.transform_s += time.perf_counter() - transform_start
-                    result.instances.append(instance)
-                    record.isolated.append(best.candidate.name)
-                    obs.counter(
-                        "candidates.isolated", style=best.savings.style
-                    ).inc()
-                    performed = True
-                else:
-                    obs.counter("candidates.rejected", reason="below_h_min").inc()
-
-            result.iterations.append(record)
-            iteration_span.set(
-                isolated=len(record.isolated),
-                rejected_slack=len(record.rejected_slack),
-                measured_power_mw=record.total_power_mw,
-            )
-            settle_score()
-            if not performed:
-                break
-
-    # --- Final metrics -------------------------------------------------
-    final_power, _ = timed_measure(working, stimulus, config, library)
-    final_timing = analyze_timing(working, library, clock_period=period)
-    result.final = DesignMetrics(
-        power_mw=final_power,
-        area=library.total_area(working),
-        worst_slack=final_timing.worst_slack,
-        clock_period=period,
-    )
-
-    # Fold the pool's utilization accounting into the stage timings.
-    # Close *before* reporting so a failing shutdown (recorded into
-    # fallback_reason by WorkerPool.close) is visible in the timings.
-    pool.close()
-    pool_report = pool.report()
-    timings.parallel_tasks = pool_report.tasks
-    timings.parallel_busy_s = pool_report.busy_seconds
-    timings.parallel_wall_s = pool_report.wall_seconds
-    timings.pool_fallback_reason = pool_report.fallback_reason
-    return result
+        library=library,
+        _working_name=f"{design.name}_iso_{config.style}",
+        _root_span="isolate",
+    ).to_isolation_result()

@@ -1,0 +1,39 @@
+"""`repro.opt` — the pluggable low-power pass framework.
+
+:func:`optimize` runs Algorithm 1's greedy loop over any combination of
+registered :class:`TransformPass` families; operand isolation and
+register clock gating ship built in. See ``docs/passes.md``.
+"""
+
+from repro.opt.framework import (
+    AppliedTransform,
+    OptimizeConfig,
+    OptimizeResult,
+    OptIterationRecord,
+    PassContext,
+    TransformPass,
+    available_passes,
+    optimize,
+    register_pass,
+    resolve_passes,
+)
+
+# Importing the built-in pass modules registers them.
+from repro.opt.isolation import IsolationPass
+from repro.opt.gating import ClockGatingPass, GatingScore
+
+__all__ = [
+    "AppliedTransform",
+    "ClockGatingPass",
+    "GatingScore",
+    "IsolationPass",
+    "OptimizeConfig",
+    "OptimizeResult",
+    "OptIterationRecord",
+    "PassContext",
+    "TransformPass",
+    "available_passes",
+    "optimize",
+    "register_pass",
+    "resolve_passes",
+]

@@ -104,6 +104,16 @@ def _result_isolate(session: Session, params: dict) -> dict:
     return payload
 
 
+def _result_optimize(session: Session, params: dict) -> dict:
+    kwargs = {}
+    if params.get("passes") is not None:
+        kwargs["passes"] = list(params["passes"])
+    result = session.optimize(style=params.get("style"), **kwargs)
+    payload = result.to_dict()
+    payload.pop("timings", None)
+    return payload
+
+
 def _result_rank(session: Session, params: dict) -> dict:
     ranked = session.rank(
         style=params.get("style", "and"),
@@ -148,6 +158,9 @@ METHODS: Dict[str, Tuple[frozenset, Callable[[Session, dict], dict]]] = {
     "validate": (frozenset({"allow_dangling"}), _result_validate),
     "estimate": (frozenset(), _result_estimate),
     "isolate": (frozenset({"style"}), _result_isolate),
+    # The ordered pass list is a cache-key ingredient: job_cache_key
+    # canonicalises params with lists preserved in order.
+    "optimize": (frozenset({"style", "passes"}), _result_optimize),
     "rank": (
         frozenset({"style", "clock_period", "lookahead_depth"}),
         _result_rank,
@@ -177,6 +190,20 @@ def _validate_params(method: str, params: dict) -> dict:
             raise ServeError(
                 f"unknown style {style!r}; choose one of {_ISOLATION_STYLES}"
             )
+    passes = params.get("passes")
+    if passes is not None:
+        from repro.opt import available_passes
+
+        known = available_passes()
+        if not isinstance(passes, (list, tuple)) or not passes:
+            raise ServeError("passes must be a non-empty list of pass names")
+        for name in passes:
+            if name not in known:
+                raise ServeError(
+                    f"unknown pass {name!r}; choose one of {known}"
+                )
+        if len(set(passes)) != len(passes):
+            raise ServeError("duplicate pass names in passes")
     return params
 
 

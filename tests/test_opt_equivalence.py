@@ -1,0 +1,96 @@
+"""`optimize(passes=["isolation"])` is bit-identical to `isolate_design`.
+
+The redesign moved Algorithm 1's greedy loop out of
+``repro.core.algorithm`` into the pass-agnostic ``repro.opt.optimize``;
+``isolate_design`` is now a thin wrapper. These tests pin the contract
+that made the refactor safe: for every shipped design, running the
+isolation pass alone through the new loop produces *exactly* the legacy
+result — same scores, same iteration records, same transformed netlist
+— with the serial path and with a worker pool.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.designs as designs
+from repro.core import IsolationConfig
+from repro.opt import optimize
+from repro.sim.compile import design_fingerprint
+from repro.sim.stimulus import random_stimulus
+
+#: Every shipped design generator.
+MAKERS = [
+    "paper_example",
+    "design1",
+    "design2",
+    "fir_datapath",
+    "alu_control_dominated",
+    "shared_bus_datapath",
+    "lookahead_pipeline",
+    "correlated_chain",
+    "cordic_pipeline",
+    "soc_datapath",
+    "random_datapath",
+]
+
+#: Denser designs get the pooled-scoring path exercised too.
+POOLED_MAKERS = ["design1", "fir_datapath", "soc_datapath"]
+
+
+def run_both(maker: str, workers: int):
+    """One legacy run and one pass-framework run on identical inputs."""
+    design = getattr(designs, maker)()
+    config = IsolationConfig(cycles=200, engine="compiled", workers=workers)
+
+    def stimulus():
+        return random_stimulus(design, seed=1)
+
+    # Import here: the wrapper must stay importable from its legacy home.
+    from repro.core.algorithm import isolate_design
+
+    legacy = isolate_design(design, stimulus, config)
+    modern = optimize(
+        design,
+        stimulus,
+        passes=("isolation",),
+        config=config,
+        _working_name=f"{design.name}_iso_{config.style}",
+        _root_span="isolate",
+    ).to_isolation_result()
+    return legacy, modern
+
+
+def canonical(result) -> str:
+    payload = result.to_dict()
+    payload.pop("timings")  # wall-clock, legitimately differs
+    return json.dumps(payload, sort_keys=True)
+
+
+@pytest.mark.parametrize("maker", MAKERS)
+def test_isolation_pass_is_bit_identical(maker):
+    legacy, modern = run_both(maker, workers=1)
+    assert canonical(modern) == canonical(legacy)
+    assert design_fingerprint(modern.design) == design_fingerprint(legacy.design)
+    assert modern.design.name == legacy.design.name
+    assert len(modern.instances) == len(legacy.instances)
+
+
+@pytest.mark.parametrize("maker", POOLED_MAKERS)
+def test_isolation_pass_is_bit_identical_pooled(maker):
+    legacy, modern = run_both(maker, workers=2)
+    assert canonical(modern) == canonical(legacy)
+    assert design_fingerprint(modern.design) == design_fingerprint(legacy.design)
+
+
+def test_wrapper_is_the_new_loop():
+    """isolate_design carries no loop of its own anymore."""
+    import inspect
+
+    from repro.core import algorithm
+
+    source = inspect.getsource(algorithm.isolate_design)
+    assert "optimize(" in source
+    assert not hasattr(algorithm, "_run_isolation")
