@@ -118,6 +118,51 @@ class JobNotFoundError(ServeError):
         self.job_id = job_id
 
 
+class TransientJobError(ServeError):
+    """A job attempt failed for a reason unrelated to the job itself.
+
+    The retry taxonomy of the serving layer: subclasses of this type are
+    *transient* — the same job may succeed on a fresh attempt (a crashed
+    worker process, an expired lease) — so the service re-enqueues the
+    job with exponential backoff until its attempt budget runs out.
+    Every other failure is *permanent* and recorded with a structured
+    :class:`~repro.diagnostics.Diagnostic` body instead of retried.
+    """
+
+    def __init__(self, message: str, status: int = 503) -> None:
+        super().__init__(message, status=status)
+
+
+class WorkerCrashError(TransientJobError):
+    """A job's worker process died (signal/exit) before reporting back."""
+
+
+class LeaseExpiredError(TransientJobError):
+    """A running job's lease lapsed without a heartbeat; the worker is
+    presumed dead and the job is handed to another attempt."""
+
+
+class JobDeadlineError(ServeError):
+    """A job exceeded its per-job deadline and was killed.
+
+    Deadlines are a *budget*, not an infrastructure fault: retrying the
+    same work against the same budget would fail the same way, so this
+    is permanent (status 504 on the wire).
+    """
+
+    def __init__(self, message: str, timeout_s: float = 0.0) -> None:
+        super().__init__(message, status=504)
+        self.timeout_s = timeout_s
+
+
+class StateStoreError(ServeError):
+    """The durable job store (journal / blob cache) hit an I/O problem
+    it could not work around (unwritable state dir, disk full...)."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, status=500)
+
+
 class FaultInjectionError(ReproError):
     """A fault could not be injected at the requested site.
 

@@ -188,6 +188,34 @@ class WorkerPool:
             pass
 
     # ------------------------------------------------------------------
+    def restart(self) -> None:
+        """Heal a degraded pool: clear the fallback and start fresh.
+
+        Degradation is deliberately permanent *within* a pool lifetime
+        (one crashed fork should not flap between pool and inline on
+        every map); a supervisor that has reason to believe the fault
+        has passed calls this to tear the old executor down, clear
+        :attr:`fallback_reason`, and let the next :meth:`map` lazily
+        create a new executor. Utilization accounting carries over.
+        """
+        self.close()
+        if self.fallback_reason is not None:
+            self.fallback_reason = None
+            obs.counter("pool.restarts").inc()
+
+    def pids(self) -> List[int]:
+        """PIDs of the live worker processes (empty when inline/lazy).
+
+        The chaos harness uses this to pick kill targets; operators can
+        correlate them with OS-level accounting.
+        """
+        executor = self._executor
+        if executor is None:
+            return []
+        processes = getattr(executor, "_processes", None) or {}
+        return sorted(processes.keys())
+
+    # ------------------------------------------------------------------
     def _pool_map(self, fn: Callable, payloads: Sequence) -> List:
         """One round through the executor; raises on infrastructure faults."""
         from concurrent.futures import ProcessPoolExecutor

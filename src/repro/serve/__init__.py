@@ -10,14 +10,30 @@ multi-client service (stdlib only, like :mod:`repro.obs` and
 * :class:`ReproServer` / :func:`make_server` — the threaded HTTP/JSON
   front end (``/v1/jobs``, ``/healthz``, ``/metrics``, graceful
   shutdown);
-* :class:`ServeClient` — the stdlib Python client.
+* :class:`ServeClient` — the stdlib Python client;
+* :class:`DurableStore` / :class:`DiskResultCache` / :class:`Journal` —
+  opt-in crash safety (``state_dir=``): a fsync'd JSONL write-ahead
+  journal plus a content-addressed disk blob cache, replayed on restart
+  (:class:`RecoveryReport`);
+* :class:`WorkerSupervisor` — opt-in supervised execution
+  (``supervise=True``): forked worker processes with hard deadlines,
+  crash retry, lease heartbeats and a circuit breaker.
 
 CLI entry points: ``repro serve`` and ``repro submit``. The full
-protocol, cache semantics and ops runbook live in ``docs/serving.md``.
+protocol, cache semantics and ops runbook live in ``docs/serving.md``;
+the fault model and crash-recovery runbook in ``docs/robustness.md``.
 """
 
 from repro.serve.cache import ResultCache, job_cache_key
 from repro.serve.client import ServeClient
+from repro.serve.durable import (
+    DiskResultCache,
+    DurableStore,
+    Journal,
+    RecoveryReport,
+    payload_digest,
+    replay_journal,
+)
 from repro.serve.http import DEFAULT_HOST, DEFAULT_PORT, ReproServer, make_server
 from repro.serve.jobs import (
     CANCELLED,
@@ -30,6 +46,7 @@ from repro.serve.jobs import (
     Job,
     JobService,
 )
+from repro.serve.supervisor import RemoteJobError, WorkerSupervisor
 
 __all__ = [
     "JobService",
@@ -39,6 +56,14 @@ __all__ = [
     "ReproServer",
     "make_server",
     "ServeClient",
+    "DurableStore",
+    "DiskResultCache",
+    "Journal",
+    "RecoveryReport",
+    "payload_digest",
+    "replay_journal",
+    "WorkerSupervisor",
+    "RemoteJobError",
     "METHODS",
     "STATES",
     "QUEUED",

@@ -85,6 +85,8 @@ class ServeClient:
         builtin: Optional[str] = None,
         run: Optional[dict] = None,
         params: Optional[dict] = None,
+        timeout_s: Optional[float] = None,
+        max_attempts: Optional[int] = None,
     ) -> dict:
         """Submit a job; returns the job record (maybe already ``done``)."""
         body = {"method": method}
@@ -96,6 +98,10 @@ class ServeClient:
             body["run"] = run
         if params:
             body["params"] = params
+        if timeout_s is not None:
+            body["timeout_s"] = timeout_s
+        if max_attempts is not None:
+            body["max_attempts"] = max_attempts
         return self._request("POST", "/v1/jobs", body)
 
     def job(self, job_id: str) -> dict:
@@ -108,25 +114,62 @@ class ServeClient:
         return self._request("DELETE", f"/v1/jobs/{job_id}")
 
     def wait(
-        self, job_id: str, timeout: float = 300.0, poll_s: float = 0.05
+        self,
+        job_id: str,
+        timeout: float = 300.0,
+        poll_s: float = 0.02,
+        max_poll_s: float = 1.0,
     ) -> dict:
-        """Poll until the job leaves the queue/running states."""
+        """Poll until the job leaves the queue/running states.
+
+        Polls with exponential backoff from ``poll_s`` up to
+        ``max_poll_s`` — short jobs are picked up promptly, long jobs do
+        not hammer the server with a fixed-rate poll loop.
+        """
         deadline = time.monotonic() + timeout
+        interval = max(poll_s, 1e-3)
         while True:
             job = self.job(job_id)
             if job["state"] not in ("queued", "running"):
                 return job
-            if time.monotonic() >= deadline:
+            now = time.monotonic()
+            if now >= deadline:
                 raise ServeError(
                     f"timed out after {timeout}s waiting for job {job_id}",
                     status=504,
                 )
-            time.sleep(poll_s)
+            time.sleep(min(interval, deadline - now))
+            interval = min(interval * 2.0, max_poll_s)
 
-    def submit_and_wait(self, *args, timeout: float = 300.0, **kwargs) -> dict:
-        job = self.submit(*args, **kwargs)
+    def submit_and_wait(
+        self,
+        *args,
+        timeout: float = 300.0,
+        submit_retries: int = 0,
+        **kwargs,
+    ) -> dict:
+        """Submit then wait; optionally ride out queue backpressure.
+
+        With ``submit_retries > 0`` a 429 response is retried up to that
+        many times, sleeping the server's ``Retry-After`` hint between
+        attempts (capped at the remaining overall ``timeout``) — the
+        cooperative half of the bounded-queue contract.
+        """
+        deadline = time.monotonic() + timeout
+        attempts_left = max(0, int(submit_retries))
+        while True:
+            try:
+                job = self.submit(*args, **kwargs)
+                break
+            except QueueFullError as exc:
+                remaining = deadline - time.monotonic()
+                if attempts_left <= 0 or remaining <= 0:
+                    raise
+                attempts_left -= 1
+                time.sleep(max(0.0, min(exc.retry_after_s, remaining)))
         if job["state"] in ("queued", "running"):
-            job = self.wait(job["id"], timeout=timeout)
+            remaining = max(0.0, deadline - time.monotonic())
+            job = self.wait(job["id"], timeout=remaining)
         return job
 
     # ------------------------------------------------------------------

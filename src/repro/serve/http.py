@@ -6,7 +6,8 @@ Stdlib only (:mod:`http.server`). Endpoints:
 Method    Path                   Meaning
 ========  =====================  ==============================================
 POST      ``/v1/jobs``           Submit a job. Body: ``{"method", "design" |
-                                 "builtin", "run", "params"}``. 202 with the
+                                 "builtin", "run", "params", "timeout_s",
+                                 "max_attempts"}``. 202 with the
                                  job record (immediately ``done`` +
                                  ``cached: true`` on a cache hit); 429 +
                                  ``Retry-After`` when the queue is full; 400
@@ -178,6 +179,8 @@ class ServeHandler(BaseHTTPRequestHandler):
                     builtin=body.get("builtin"),
                     run=body.get("run"),
                     params=body.get("params"),
+                    timeout_s=body.get("timeout_s"),
+                    max_attempts=body.get("max_attempts"),
                 )
                 self._send_json(202, job.to_dict())
                 return 202

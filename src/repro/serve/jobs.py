@@ -22,7 +22,26 @@ asynchronous multi-client workload:
   not started yet).
 
 Job states: ``queued → running → done | failed``, plus ``cancelled``
-for jobs revoked before a worker picked them up.
+for jobs revoked before a worker picked them up. A transient failure
+(worker crash, expired lease) sends a running job *back* to ``queued``
+with exponential backoff until its attempt budget runs out; only
+permanent failures (task errors, exceeded deadlines, exhausted budgets)
+reach ``failed``, always with a structured ``Diagnostic`` body.
+
+Durability and supervision are opt-in and composable:
+
+* ``state_dir=`` attaches a :class:`~repro.serve.durable.DurableStore`:
+  every lifecycle transition is journaled (fsync'd JSONL) and results
+  spill to a disk blob cache, so a ``kill -9`` loses nothing that was
+  acknowledged — on restart :meth:`JobService.recover` replays the
+  journal, restores terminal jobs (results integrity-verified against
+  their recorded digests), and re-enqueues orphans;
+* ``supervise=True`` runs each attempt in a forked worker process via
+  :class:`~repro.serve.supervisor.WorkerSupervisor` — worker threads
+  never simulate inline — enabling real deadlines (SIGKILL past
+  ``timeout_s``), crash containment with retry, lease heartbeats, and a
+  circuit breaker that degrades to inline execution under repeated
+  worker failures instead of going dark.
 
 Result payloads are **deterministic**: they contain no wall-clock
 timings, so a payload computed once, served from cache and recomputed
@@ -34,7 +53,9 @@ from scratch are all byte-identical (the equivalence the smoke test and
 from __future__ import annotations
 
 import itertools
+import logging
 import queue
+import random
 import threading
 import time
 from dataclasses import dataclass, field
@@ -44,11 +65,14 @@ from repro import obs
 from repro.api import Session
 from repro.diagnostics import Diagnostic, errors_only
 from repro.errors import (
+    JobDeadlineError,
     JobNotFoundError,
+    LeaseExpiredError,
     QueueFullError,
     ReproError,
     ServeError,
     ServiceStoppedError,
+    TransientJobError,
 )
 from repro.netlist import textio
 from repro.netlist.design import Design
@@ -56,6 +80,10 @@ from repro.runconfig import RunConfig
 from repro.sim.compile import design_fingerprint
 
 from .cache import ResultCache, job_cache_key
+from .durable import DiskResultCache, DurableStore, RecoveryReport, payload_digest
+from .supervisor import RemoteJobError, WorkerSupervisor
+
+logger = logging.getLogger("repro.serve")
 
 #: Job lifecycle states.
 QUEUED = "queued"
@@ -226,14 +254,47 @@ def _builtin_design(name: str) -> Design:
     return getattr(designs, target)()
 
 
-def _error_payload(exc: BaseException) -> dict:
+def _error_payload(exc: BaseException, code: Optional[str] = None) -> dict:
     """Structured error body: exception type + Diagnostic records."""
-    code = "".join(
-        "-" + ch.lower() if ch.isupper() else ch for ch in type(exc).__name__
-    ).lstrip("-")
+    if code is None:
+        code = "".join(
+            "-" + ch.lower() if ch.isupper() else ch
+            for ch in type(exc).__name__
+        ).lstrip("-")
     diagnostic = Diagnostic(code=code, message=str(exc), severity="error")
     return {
         "type": type(exc).__name__,
+        "message": str(exc),
+        "diagnostics": [diagnostic.to_dict()],
+    }
+
+
+def _budget_exhausted_payload(exc: BaseException, attempts: int) -> dict:
+    """Permanent-failure body for a job whose retry budget ran out."""
+    diagnostic = Diagnostic(
+        code="retry-budget-exhausted",
+        message=(
+            f"gave up after {attempts} attempt(s); "
+            f"last transient failure: {exc}"
+        ),
+        severity="error",
+    )
+    return {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "attempts": attempts,
+        "diagnostics": [diagnostic.to_dict()],
+    }
+
+
+def _remote_error_payload(exc: "RemoteJobError") -> dict:
+    """Task error that crossed the worker pipe — render like inline."""
+    code = "".join(
+        "-" + ch.lower() if ch.isupper() else ch for ch in exc.type_name
+    ).lstrip("-")
+    diagnostic = Diagnostic(code=code, message=str(exc), severity="error")
+    return {
+        "type": exc.type_name,
         "message": str(exc),
         "diagnostics": [diagnostic.to_dict()],
     }
@@ -248,12 +309,15 @@ class Job:
 
     id: str
     method: str
-    design: Design
+    design: Optional[Design]
     design_name: str
     fingerprint: str
     run: RunConfig
     params: dict
     cache_key: str
+    #: Canonical textual netlist — the wire/journal form every attempt
+    #: (inline, worker process, post-crash replay) is rebuilt from.
+    design_text: str = ""
     state: str = QUEUED
     cached: bool = False
     result: Optional[dict] = None
@@ -261,6 +325,17 @@ class Job:
     submitted_at: float = field(default_factory=time.time)
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
+    #: Execution-robustness fields (PR 7): per-job deadline, bounded
+    #: attempt budget, lease bookkeeping. ``attempt_token`` increments on
+    #: every attempt start *and* every lease revocation, so a superseded
+    #: attempt can never apply its outcome ("exactly-once completion").
+    timeout_s: Optional[float] = None
+    max_attempts: int = 1
+    attempts: int = 0
+    lease_expires_at: Optional[float] = None
+    attempt_token: int = 0
+    last_transient_error: Optional[str] = None
+    recovered: bool = False
 
     @property
     def finished(self) -> bool:
@@ -271,6 +346,15 @@ class Job:
         if self.started_at is None or self.finished_at is None:
             return None
         return self.finished_at - self.started_at
+
+    def wire_payload(self) -> dict:
+        """What crosses the fork/journal boundary to run this job."""
+        return {
+            "method": self.method,
+            "design_text": self.design_text,
+            "run": self.run.to_dict(),
+            "params": self.params,
+        }
 
     def to_dict(self, include_result: bool = True) -> dict:
         """Wire representation (summary with ``include_result=False``)."""
@@ -286,6 +370,10 @@ class Job:
             "started_at": self.started_at,
             "finished_at": self.finished_at,
             "duration_s": self.duration_s,
+            "attempts": self.attempts,
+            "max_attempts": self.max_attempts,
+            "timeout_s": self.timeout_s,
+            "recovered": self.recovered,
         }
         if include_result:
             payload["result"] = self.result
@@ -315,6 +403,31 @@ class JobService:
         Start the worker threads immediately. Tests pass ``False`` to
         exercise queue backpressure and cancellation deterministically,
         then call :meth:`start`.
+    state_dir:
+        Attach a crash-safe :class:`~repro.serve.durable.DurableStore`
+        rooted here: journal every transition, spill results to disk,
+        and replay/recover on construction. ``None`` (default) keeps the
+        legacy in-memory-only behaviour.
+    supervise:
+        Execute each attempt in a forked, killable worker process via
+        :class:`~repro.serve.supervisor.WorkerSupervisor` (enables hard
+        deadlines, crash retry, leases). Default off.
+    max_attempts:
+        Attempt budget per job when transient failures occur (used when
+        a submission names none). ``1`` disables retries.
+    job_timeout_s:
+        Default per-job deadline in seconds (``None`` = unlimited);
+        enforced by SIGKILL only under ``supervise=True``.
+    lease_s:
+        Running-job lease duration; heartbeats renew it while the
+        supervisor polls. An expired lease marks the attempt dead and
+        re-enqueues the job. ``0`` disables the lease reaper.
+    retry_base_s / retry_cap_s:
+        Exponential-backoff shape for transient retries:
+        ``base * 2**(attempt-1) * jitter`` clamped to the cap.
+    fsync:
+        fsync the journal on every append (durable but slower); tests
+        may disable it.
     """
 
     def __init__(
@@ -324,30 +437,177 @@ class JobService:
         cache_capacity: int = 256,
         default_run: Optional[RunConfig] = None,
         start: bool = True,
+        state_dir: Optional[str] = None,
+        supervise: bool = False,
+        max_attempts: int = 3,
+        job_timeout_s: Optional[float] = None,
+        lease_s: float = 15.0,
+        retry_base_s: float = 0.05,
+        retry_cap_s: float = 2.0,
+        fsync: bool = True,
+        circuit_threshold: int = 3,
+        circuit_cooldown_s: float = 10.0,
     ) -> None:
         if queue_size < 1:
             raise ValueError(f"queue_size must be >= 1, got {queue_size}")
         if job_workers < 1:
             raise ValueError(f"job_workers must be >= 1, got {job_workers}")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
         self.queue_size = queue_size
         self.job_workers = job_workers
         self.default_run = default_run or RunConfig()
+        self.max_attempts = max_attempts
+        self.job_timeout_s = job_timeout_s
+        self.lease_s = lease_s
+        self.retry_base_s = retry_base_s
+        self.retry_cap_s = retry_cap_s
         self.recorder = obs.Recorder(track="serve")
         # One lock guards the (not thread-safe) service recorder: the
         # metrics registry, the tracer and everything absorbed into them.
         self._obs_lock = threading.RLock()
-        self.cache = _LockedCache(
-            cache_capacity, self.recorder.metrics, self._obs_lock
-        )
+        self.store: Optional[DurableStore] = None
+        self.supervisor: Optional[WorkerSupervisor] = None
+        if supervise:
+            self.supervisor = WorkerSupervisor(
+                circuit_threshold=circuit_threshold,
+                circuit_cooldown_s=circuit_cooldown_s,
+            )
+        if state_dir is not None:
+            self.store = DurableStore(
+                state_dir,
+                cache_capacity=cache_capacity,
+                metrics=self.recorder.metrics,
+                fsync=fsync,
+            )
+            self.cache = self.store.cache
+            self.cache._lock = self._obs_lock  # share the recorder lock
+        else:
+            self.cache = _LockedCache(
+                cache_capacity, self.recorder.metrics, self._obs_lock
+            )
         self._queue: "queue.Queue" = queue.Queue(maxsize=queue_size)
         self._jobs: Dict[str, Job] = {}
         self._jobs_lock = threading.RLock()
         self._ids = itertools.count(1)
         self._accepting = True
         self._threads: List[threading.Thread] = []
+        self._reaper: Optional[threading.Thread] = None
+        self._stop_reaper = threading.Event()
         self._started = False
+        self.last_recovery: Optional[RecoveryReport] = None
+        if self.store is not None:
+            self.last_recovery = self.recover()
         if start:
             self.start()
+
+    # ------------------------------------------------------------------
+    def recover(self) -> RecoveryReport:
+        """Replay the journal: restore terminal jobs, re-enqueue orphans.
+
+        Called from the constructor when a ``state_dir`` is attached.
+        Completed jobs get their results back from the blob cache,
+        integrity-verified against the digest recorded at finish time; a
+        missing or corrupt blob re-enqueues the job instead of serving a
+        lie. Jobs that were ``queued`` or ``running`` at crash time are
+        orphans — their (implicit) lease died with the process — and are
+        re-enqueued with a journaled ``retry`` record.
+        """
+        assert self.store is not None
+        report = RecoveryReport(
+            journal_records=len(self.store.replayed_records),
+            corrupt_lines=self.store.corrupt_lines,
+        )
+        replayed = self.store.replayed_jobs()
+        report.jobs_seen = len(replayed)
+        max_id = 0
+        orphans: List[Job] = []
+        for job_id in sorted(replayed):
+            state = replayed[job_id]
+            try:
+                max_id = max(max_id, int(job_id.lstrip("j")))
+            except ValueError:
+                pass
+            run_cfg = self.default_run
+            try:
+                run_cfg = RunConfig.from_dict(state.get("run") or {})
+            except ReproError:
+                pass
+            job = Job(
+                id=job_id,
+                method=state.get("method", ""),
+                design=None,
+                design_name=state.get("design_name", ""),
+                fingerprint=state.get("fingerprint", ""),
+                run=run_cfg,
+                params=dict(state.get("params") or {}),
+                cache_key=state.get("cache_key", ""),
+                design_text=state.get("design_text", ""),
+                submitted_at=state.get("submitted_at", state.get("t", 0.0)),
+                timeout_s=state.get("timeout_s"),
+                max_attempts=int(state.get("max_attempts", self.max_attempts)),
+                attempts=int(state.get("attempts", 0)),
+                recovered=True,
+            )
+            terminal = state["state"]
+            if terminal == "done":
+                hit, payload = self.cache.get(job.cache_key)
+                digest = state.get("result_digest")
+                if hit and (digest is None or payload_digest(payload) == digest):
+                    job.state = DONE
+                    job.cached = True
+                    job.result = payload
+                    now = time.time()
+                    job.started_at = job.started_at or now
+                    job.finished_at = now
+                    report.completed += 1
+                    report.results_recovered += 1
+                else:
+                    report.results_missing += 1
+                    orphans.append(job)
+            elif terminal == "failed":
+                job.state = FAILED
+                job.error = state.get("error")
+                job.finished_at = time.time()
+                report.failed += 1
+            elif terminal == "cancelled":
+                job.state = CANCELLED
+                job.finished_at = time.time()
+                report.cancelled += 1
+            else:  # queued / running: orphaned by the crash
+                orphans.append(job)
+            with self._jobs_lock:
+                self._jobs[job.id] = job
+        self._ids = itertools.count(max_id + 1)
+        # Re-enqueued orphans may exceed the nominal queue bound; widen
+        # the queue rather than drop acknowledged work (backpressure
+        # applies to *new* submissions on top of the recovered backlog).
+        if len(orphans) > self.queue_size:
+            self._queue = queue.Queue(maxsize=len(orphans))
+        for job in orphans:
+            job.state = QUEUED
+            job.attempt_token += 1
+            job.lease_expires_at = None
+            self._journal("retry", job, reason="recovered")
+            report.reenqueued += 1
+            report.reenqueued_ids.append(job.id)
+            self._queue.put_nowait(job)
+        with self._obs_lock:
+            self.recorder.counter("serve.recoveries").inc()
+            self.recorder.counter("serve.jobs.reenqueued", reason="recovered").inc(
+                float(report.reenqueued)
+            )
+        self.store.last_recovery = report
+        if report.reenqueued or report.corrupt_lines:
+            logger.info("serve recovery: %s", report.summary())
+        return report
+
+    def _journal(self, type: str, job: Job, **fields) -> None:
+        if self.store is None:
+            return
+        self.store.journal.append(type, job.id, **fields)
+        with self._obs_lock:
+            self.recorder.counter("serve.journal.records", type=type).inc()
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -363,6 +623,14 @@ class JobService:
             )
             thread.start()
             self._threads.append(thread)
+        if self.supervisor is not None and self.lease_s > 0:
+            self._stop_reaper.clear()
+            self._reaper = threading.Thread(
+                target=self._reaper_loop,
+                name="repro-serve-lease-reaper",
+                daemon=True,
+            )
+            self._reaper.start()
 
     # ------------------------------------------------------------------
     def submit(
@@ -372,6 +640,8 @@ class JobService:
         builtin: Optional[str] = None,
         run: Optional[dict] = None,
         params: Optional[dict] = None,
+        timeout_s: Optional[float] = None,
+        max_attempts: Optional[int] = None,
     ) -> Job:
         """Validate, content-address and enqueue (or cache-answer) a job.
 
@@ -379,6 +649,15 @@ class JobService:
         format); ``builtin`` names a shipped generator instead. Exactly
         one of the two must be given. ``run`` is a partial
         :class:`RunConfig` dict; ``params`` are method parameters.
+        ``timeout_s`` / ``max_attempts`` override the service defaults
+        for this job only — neither is a cache-key ingredient (a
+        deadline changes whether a result exists, never its bytes).
+
+        With a durable store attached, the successful return of this
+        method *is* the acknowledgement: the job's ``submit`` record has
+        been fsync'd and will survive ``kill -9``. A rejected submission
+        (full queue) is compensated with a ``cancel`` record, so replay
+        never resurrects work the client was told to retry.
         """
         if not self._accepting:
             raise ServiceStoppedError()
@@ -389,6 +668,10 @@ class JobService:
         params = _validate_params(method, dict(params or {}))
         if (design is None) == (builtin is None):
             raise ServeError("provide exactly one of 'design' and 'builtin'")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ServeError(f"timeout_s must be > 0, got {timeout_s}")
+        if max_attempts is not None and int(max_attempts) < 1:
+            raise ServeError(f"max_attempts must be >= 1, got {max_attempts}")
         design_obj = (
             textio.loads(design) if design is not None else _builtin_design(builtin)
         )
@@ -410,11 +693,30 @@ class JobService:
             run=run_cfg,
             params=params,
             cache_key=cache_key,
+            design_text=textio.dumps(design_obj),
+            timeout_s=timeout_s if timeout_s is not None else self.job_timeout_s,
+            max_attempts=(
+                int(max_attempts) if max_attempts is not None else self.max_attempts
+            ),
         )
         with self._jobs_lock:
             self._jobs[job.id] = job
         with self._obs_lock:
             self.recorder.counter("serve.jobs.submitted", method=method).inc()
+        self._journal(
+            "submit",
+            job,
+            method=job.method,
+            design_name=job.design_name,
+            design_text=job.design_text,
+            run=job.run.to_dict(),
+            params=job.params,
+            cache_key=job.cache_key,
+            fingerprint=job.fingerprint,
+            timeout_s=job.timeout_s,
+            max_attempts=job.max_attempts,
+            submitted_at=job.submitted_at,
+        )
         hit, payload = self.cache.get(cache_key)
         if hit:
             job.cached = True
@@ -422,6 +724,9 @@ class JobService:
             job.state = DONE
             now = time.time()
             job.started_at = job.finished_at = now
+            self._journal(
+                "finish", job, cached=True, result_digest=payload_digest(payload)
+            )
             with self._obs_lock:
                 self.recorder.counter("serve.jobs.completed", state=DONE).inc()
             return job
@@ -430,6 +735,7 @@ class JobService:
         except queue.Full:
             with self._jobs_lock:
                 del self._jobs[job.id]
+            self._journal("cancel", job, reason="queue-full")
             with self._obs_lock:
                 self.recorder.counter("serve.jobs.rejected").inc()
             raise QueueFullError(
@@ -470,29 +776,47 @@ class JobService:
     def cancel(self, job_id: str) -> Job:
         """Revoke a queued job (running/finished jobs are left alone)."""
         job = self.get(job_id)
+        cancelled = False
         with self._jobs_lock:
             if job.state == QUEUED:
                 job.state = CANCELLED
+                job.attempt_token += 1
                 job.finished_at = time.time()
-                with self._obs_lock:
-                    self.recorder.counter(
-                        "serve.jobs.completed", state=CANCELLED
-                    ).inc()
+                cancelled = True
+        if cancelled:
+            self._journal("cancel", job, reason="client")
+            with self._obs_lock:
+                self.recorder.counter(
+                    "serve.jobs.completed", state=CANCELLED
+                ).inc()
         return job
 
-    def wait(self, job_id: str, timeout: float = 60.0, poll_s: float = 0.01) -> Job:
-        """Block until the job finishes (in-process convenience)."""
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 60.0,
+        poll_s: float = 0.005,
+        max_poll_s: float = 0.25,
+    ) -> Job:
+        """Block until the job finishes (in-process convenience).
+
+        Polls with exponential backoff from ``poll_s`` up to
+        ``max_poll_s`` instead of burning a fixed-rate busy loop.
+        """
         deadline = time.monotonic() + timeout
+        interval = max(poll_s, 1e-4)
         while True:
             job = self.get(job_id)
             if job.finished:
                 return job
-            if time.monotonic() >= deadline:
+            now = time.monotonic()
+            if now >= deadline:
                 raise ServeError(
                     f"timed out after {timeout}s waiting for job {job_id}",
                     status=504,
                 )
-            time.sleep(poll_s)
+            time.sleep(min(interval, deadline - now))
+            interval = min(interval * 2.0, max_poll_s)
 
     # ------------------------------------------------------------------
     def _worker_loop(self) -> None:
@@ -506,13 +830,52 @@ class JobService:
                 self._queue.task_done()
                 self._set_queue_gauge()
 
+    def _heartbeat(self, job: Job) -> None:
+        """Renew the running job's lease (called from the poll loop)."""
+        if self.lease_s > 0:
+            job.lease_expires_at = time.time() + self.lease_s
+
+    def _retry_backoff_s(self, attempt: int) -> float:
+        """Exponential backoff with full jitter, clamped to the cap."""
+        base = self.retry_base_s * (2.0 ** max(0, attempt - 1))
+        return min(self.retry_cap_s, base * (0.5 + random.random()))
+
+    def _run_attempt(self, job: Job) -> dict:
+        """One execution attempt: supervised process, or legacy inline."""
+        if self.supervisor is not None:
+            return self.supervisor.execute(
+                job.id,
+                job.wire_payload(),
+                timeout_s=job.timeout_s,
+                heartbeat=lambda: self._heartbeat(job),
+            )
+        design = job.design
+        if design is None:  # recovered from the journal: rebuild
+            design = textio.loads(job.design_text)
+            job.design = design
+        _, builder = METHODS[job.method]
+        session = Session(design, run=job.run)
+        return builder(session, job.params)
+
     def _execute(self, job: Job) -> None:
         with self._jobs_lock:
             if job.state != QUEUED:  # cancelled while queued
                 return
             job.state = RUNNING
-            job.started_at = time.time()
+            if job.started_at is None:
+                job.started_at = time.time()
+            job.attempts += 1
+            job.attempt_token += 1
+            token = job.attempt_token
+            attempt = job.attempts
+            if self.supervisor is not None and self.lease_s > 0:
+                job.lease_expires_at = time.time() + self.lease_s
+        self._journal("start", job, attempt=attempt)
         recorder = obs.Recorder(track=f"serve:{job.id}")
+        outcome = "failed"
+        payload: Optional[dict] = None
+        error: Optional[dict] = None
+        retry_reason: Optional[str] = None
         try:
             with obs.use(recorder):
                 with obs.span(
@@ -522,33 +885,198 @@ class JobService:
                     method=job.method,
                     design=job.design_name,
                     fingerprint=job.fingerprint[:12],
+                    attempt=attempt,
                 ):
-                    _, builder = METHODS[job.method]
-                    session = Session(job.design, run=job.run)
-                    payload = builder(session, job.params)
-            self.cache.put(job.cache_key, payload)
-            job.result = payload
-            job.state = DONE
-        except ReproError as exc:
-            job.error = _error_payload(exc)
-            job.state = FAILED
-        except Exception as exc:  # defensive: a job must never kill a worker
-            job.error = _error_payload(exc)
-            job.state = FAILED
-        finally:
-            job.finished_at = time.time()
+                    payload = self._run_attempt(job)
+            outcome = "done"
+        except TransientJobError as exc:
+            if attempt < job.max_attempts:
+                outcome = "retry"
+                retry_reason = f"{type(exc).__name__}: {exc}"
+            else:
+                error = _budget_exhausted_payload(exc, attempt)
+        except JobDeadlineError as exc:
+            error = _error_payload(exc, code="deadline-exceeded")
             with self._obs_lock:
-                self.recorder.absorb(
-                    recorder.trace_payload(),
-                    recorder.metrics,
-                    track=f"serve:{job.id}",
-                )
+                self.recorder.counter("serve.jobs.timeouts").inc()
+        except RemoteJobError as exc:
+            error = _remote_error_payload(exc)
+        except ReproError as exc:
+            error = _error_payload(exc)
+        except Exception as exc:  # defensive: a job must never kill a worker
+            error = _error_payload(exc)
+        with self._obs_lock:
+            self.recorder.absorb(
+                recorder.trace_payload(),
+                recorder.metrics,
+                track=f"serve:{job.id}",
+            )
+        if outcome == "retry":
+            self._requeue_after_transient(job, token, retry_reason or "")
+            return
+        if outcome == "done" and payload is not None:
+            # Write-ahead: blob first, then the journal finish record,
+            # then the in-memory transition — a crash between any two
+            # steps replays to a consistent (at worst re-run) state.
+            self.cache.put(job.cache_key, payload)
+            self._journal(
+                "finish", job, result_digest=payload_digest(payload)
+            )
+        else:
+            self._journal("fail", job, error=error)
+        applied = False
+        with self._jobs_lock:
+            if job.attempt_token == token and job.state == RUNNING:
+                if outcome == "done":
+                    job.result = payload
+                    job.state = DONE
+                else:
+                    job.error = error
+                    job.state = FAILED
+                job.lease_expires_at = None
+                job.finished_at = time.time()
+                applied = True
+        if applied:
+            with self._obs_lock:
                 self.recorder.counter(
                     "serve.jobs.completed", state=job.state
                 ).inc()
                 self.recorder.histogram("serve.job.duration_s").observe(
                     job.duration_s or 0.0
                 )
+
+    def _requeue_after_transient(
+        self, job: Job, token: int, reason: str
+    ) -> None:
+        """Back off, then hand the job back to the queue for a retry."""
+        backoff = self._retry_backoff_s(job.attempts)
+        requeued = False
+        with self._jobs_lock:
+            if job.attempt_token == token and job.state == RUNNING:
+                job.state = QUEUED
+                job.lease_expires_at = None
+                job.last_transient_error = reason
+                requeued = True
+        if not requeued:  # superseded by the reaper meanwhile
+            return
+        self._journal("retry", job, reason=reason, backoff_s=backoff)
+        with self._obs_lock:
+            self.recorder.counter("serve.jobs.retries").inc()
+        logger.warning(
+            "job %s attempt %d/%d failed transiently (%s); retrying in %.2fs",
+            job.id, job.attempts, job.max_attempts, reason, backoff,
+        )
+        time.sleep(backoff)
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            error = {
+                "type": "QueueFullError",
+                "message": "could not re-enqueue after transient failure: "
+                "queue is full",
+                "diagnostics": [
+                    Diagnostic(
+                        code="retry-requeue-failed",
+                        message=f"job {job.id}: {reason}",
+                        severity="error",
+                    ).to_dict()
+                ],
+            }
+            with self._jobs_lock:
+                if job.attempt_token == token and job.state == QUEUED:
+                    job.error = error
+                    job.state = FAILED
+                    job.finished_at = time.time()
+            self._journal("fail", job, error=error)
+            with self._obs_lock:
+                self.recorder.counter(
+                    "serve.jobs.completed", state=FAILED
+                ).inc()
+
+    # ------------------------------------------------------------------
+    def _reaper_loop(self) -> None:
+        interval = max(0.05, min(1.0, self.lease_s / 3.0))
+        while not self._stop_reaper.wait(interval):
+            self._reap_expired_leases()
+
+    def _reap_expired_leases(self) -> int:
+        """Re-enqueue (or fail) running jobs whose lease lapsed.
+
+        A lease only lapses when the attempt's poll loop stopped
+        heartbeating — a wedged or dead worker thread. Bumping
+        ``attempt_token`` guarantees that if the old attempt *does*
+        come back from the dead, its outcome is discarded: completion
+        is applied exactly once.
+        """
+        now = time.time()
+        reaped = 0
+        with self._jobs_lock:
+            expired = [
+                job
+                for job in self._jobs.values()
+                if job.state == RUNNING
+                and job.lease_expires_at is not None
+                and job.lease_expires_at < now
+            ]
+        for job in expired:
+            requeue = False
+            with self._jobs_lock:
+                if (
+                    job.state != RUNNING
+                    or job.lease_expires_at is None
+                    or job.lease_expires_at >= now
+                ):
+                    continue
+                job.attempt_token += 1
+                job.lease_expires_at = None
+                if job.attempts < job.max_attempts:
+                    job.state = QUEUED
+                    job.last_transient_error = "lease expired"
+                    requeue = True
+                else:
+                    job.error = _budget_exhausted_payload(
+                        LeaseExpiredError(
+                            f"job {job.id}: lease expired after "
+                            f"{job.attempts} attempt(s)"
+                        ),
+                        job.attempts,
+                    )
+                    job.state = FAILED
+                    job.finished_at = time.time()
+            reaped += 1
+            with self._obs_lock:
+                self.recorder.counter("serve.leases.expired").inc()
+            logger.warning(
+                "job %s lease expired (attempt %d/%d); %s",
+                job.id, job.attempts, job.max_attempts,
+                "re-enqueueing" if requeue else "attempt budget exhausted",
+            )
+            if requeue:
+                self._journal("retry", job, reason="lease-expired")
+                try:
+                    self._queue.put_nowait(job)
+                except queue.Full:
+                    with self._jobs_lock:
+                        job.error = _budget_exhausted_payload(
+                            LeaseExpiredError(
+                                f"job {job.id}: lease expired and queue full"
+                            ),
+                            job.attempts,
+                        )
+                        job.state = FAILED
+                        job.finished_at = time.time()
+                    self._journal("fail", job, error=job.error)
+                    with self._obs_lock:
+                        self.recorder.counter(
+                            "serve.jobs.completed", state=FAILED
+                        ).inc()
+            else:
+                self._journal("fail", job, error=job.error)
+                with self._obs_lock:
+                    self.recorder.counter(
+                        "serve.jobs.completed", state=FAILED
+                    ).inc()
+        return reaped
 
     # ------------------------------------------------------------------
     def status(self) -> dict:
@@ -557,7 +1085,7 @@ class JobService:
             counts: Dict[str, int] = {state: 0 for state in STATES}
             for job in self._jobs.values():
                 counts[job.state] += 1
-        return {
+        payload = {
             "status": "ok" if self._accepting else "draining",
             "accepting": self._accepting,
             "queue_depth": self._queue.qsize(),
@@ -566,6 +1094,11 @@ class JobService:
             "jobs": counts,
             "cache": self.cache.stats(),
         }
+        if self.store is not None:
+            payload["durable"] = self.store.status()
+        if self.supervisor is not None:
+            payload["supervisor"] = self.supervisor.status()
+        return payload
 
     def metrics_text(self) -> str:
         """Prometheus exposition of the service registry."""
@@ -583,7 +1116,9 @@ class JobService:
 
         Idempotent. With ``drain=True`` every job already queued still
         runs to completion; with ``drain=False`` queued jobs are
-        cancelled and only in-flight ones finish.
+        cancelled and only in-flight ones finish. Worker threads that
+        fail to join within ``timeout`` are detected and reported (a
+        metric plus a log line) instead of silently leaked.
         """
         self._accepting = False
         if not drain:
@@ -597,10 +1132,29 @@ class JobService:
             # the queue is full of real jobs — that is the drain.
             for _ in self._threads:
                 self._queue.put(_STOP)
+            stuck: List[str] = []
             for thread in self._threads:
                 thread.join(timeout)
+                if thread.is_alive():
+                    stuck.append(thread.name)
+            if stuck:
+                with self._obs_lock:
+                    self.recorder.counter("serve.shutdown.stuck_threads").inc(
+                        float(len(stuck))
+                    )
+                logger.warning(
+                    "shutdown: %d worker thread(s) failed to join within "
+                    "%.1fs: %s (daemon threads; they die with the process)",
+                    len(stuck), timeout, ", ".join(stuck),
+                )
             self._threads = []
             self._started = False
+        if self._reaper is not None:
+            self._stop_reaper.set()
+            self._reaper.join(timeout)
+            self._reaper = None
+        if self.store is not None:
+            self.store.close()
 
 
 class _LockedCache(ResultCache):

@@ -17,6 +17,11 @@ injects structural damage (disconnected pins, corrupted widths,
 combinational loops, stuck control nets, flipped activation literals)
 and asserts every fault is caught by validation, a typed error, or
 equivalence failure — never answered silently.
+
+:mod:`repro.verify.chaos` extends the same adversarial discipline to
+the serving layer: it kills workers and whole servers mid-job,
+truncates the durable journal and bit-flips cache blobs, then asserts
+no acknowledged job is lost and no corrupted result is served.
 """
 
 from repro.verify.equivalence import (
@@ -39,8 +44,20 @@ from repro.verify.faults import (
     inject_fault,
     run_campaign,
 )
+from repro.verify.chaos import (
+    ChaosReport,
+    corrupt_blob,
+    run_chaos_campaign,
+    scan_state_dir,
+    truncate_journal,
+)
 
 __all__ = [
+    "ChaosReport",
+    "corrupt_blob",
+    "run_chaos_campaign",
+    "scan_state_dir",
+    "truncate_journal",
     "EquivalenceReport",
     "check_observable_equivalence",
     "assert_observable_equivalence",

@@ -148,3 +148,98 @@ class TestServeCommand:
             if proc.poll() is None:
                 proc.kill()
                 proc.communicate()
+
+
+class TestServeDurableFlags:
+    def test_robustness_flags_parse_and_default(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve"])
+        assert args.state_dir is None and args.supervise is False
+        assert args.max_attempts == 3
+        assert args.job_timeout is None and args.lease == 15.0
+
+        args = build_parser().parse_args(
+            ["serve", "--state-dir", "/tmp/s", "--supervise",
+             "--max-attempts", "5", "--job-timeout", "30", "--lease", "7.5"]
+        )
+        assert args.state_dir == "/tmp/s" and args.supervise is True
+        assert args.max_attempts == 5
+        assert args.job_timeout == 30.0 and args.lease == 7.5
+
+    def test_durable_serve_subprocess_recovers_across_restart(self, tmp_path):
+        """Boot with --state-dir, drain, reboot: the cache answers."""
+        env = dict(os.environ, PYTHONPATH="src")
+        repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        state_dir = str(tmp_path / "state")
+        argv = [sys.executable, "-m", "repro", "serve", "--port", "0",
+                "--engine", "compiled", "--json", "--state-dir", state_dir,
+                "--supervise", "--max-attempts", "2", "--job-timeout", "60"]
+        body = json.dumps(
+            {"method": "estimate", "builtin": "fig1",
+             "run": {"cycles": 100, "engine": "compiled", "workers": 1}}
+        ).encode()
+
+        def boot():
+            proc = subprocess.Popen(
+                argv, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+                env=env, cwd=repo, text=True,
+            )
+            ready = proc.stderr.readline()
+            assert "serving on http://" in ready, ready
+            assert f"state-dir={state_dir}" in ready and "supervised" in ready
+            return proc, ready.split()[2]
+
+        def submit(url):
+            request = urllib.request.Request(
+                url + "/v1/jobs", data=body, method="POST",
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(request, timeout=30) as resp:
+                job = json.loads(resp.read())
+            deadline = time.monotonic() + 60
+            while job["state"] in ("queued", "running"):
+                assert time.monotonic() < deadline
+                with urllib.request.urlopen(
+                    f"{url}/v1/jobs/{job['id']}", timeout=10
+                ) as resp:
+                    job = json.loads(resp.read())
+            return job
+
+        def drain(proc):
+            proc.send_signal(signal.SIGINT)
+            out, _err = proc.communicate(timeout=60)
+            assert proc.returncode == 0
+            return json.loads(out)
+
+        proc, url = boot()
+        try:
+            job = submit(url)
+            assert job["state"] == "done" and job["cached"] is False
+            with urllib.request.urlopen(url + "/healthz", timeout=10) as resp:
+                health = json.loads(resp.read())
+            assert health["durable"]["journal"]["appended"] >= 2
+            assert health["supervisor"]["circuit"] == "closed"
+            drain(proc)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+
+        # Second boot on the same state dir: the journal replays and the
+        # identical submission is a disk-cache hit, not a recomputation.
+        proc, url = boot()
+        try:
+            job = submit(url)
+            assert job["state"] == "done" and job["cached"] is True
+            with urllib.request.urlopen(url + "/healthz", timeout=10) as resp:
+                health = json.loads(resp.read())
+            assert health["durable"]["journal"]["replayed_records"] >= 2
+            summary = drain(proc)
+            # >= 2: replay re-reads the recovered result through the
+            # cache, and the resubmission hits it again.
+            assert summary["cache"]["hits"] >= 2.0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()

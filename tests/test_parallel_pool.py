@@ -193,6 +193,52 @@ def test_invalid_workers_rejected_by_configs():
     with pytest.raises(IsolationError):
         IsolationConfig(workers=-2)
 
+class TestPoolRestartAndPids:
+    """Supervisor hooks: heal a degraded pool, enumerate live workers."""
+
+    def test_restart_clears_degradation_and_counts(self):
+        from repro import obs
+
+        recorder = obs.Recorder()
+        pool = WorkerPool(2)
+        pool.fallback_reason = "worker crashed earlier"
+        with obs.use(recorder):
+            pool.restart()
+        assert pool.fallback_reason is None
+        assert pool._executor is None
+        assert recorder.metrics.counter("pool.restarts").value == 1.0
+        # A healed pool goes back to real pool execution on the next map.
+        assert pool.map(_double, [1, 2, 3]) == [2, 4, 6]
+        assert pool.fallback_reason is None
+        pool.close()
+
+    def test_restart_on_healthy_pool_is_not_counted(self):
+        from repro import obs
+
+        recorder = obs.Recorder()
+        with WorkerPool(2) as pool:
+            pool.map(_double, [1, 2])
+            with obs.use(recorder):
+                pool.restart()
+        assert recorder.metrics.counter("pool.restarts").value == 0.0
+
+    def test_pids_empty_when_lazy_or_inline(self):
+        pool = WorkerPool(2)
+        assert pool.pids() == []  # no executor yet
+        pool.map(_double, [7])  # single payload stays inline
+        assert pool.pids() == []
+
+    def test_pids_reports_live_workers(self):
+        with WorkerPool(2) as pool:
+            pool.map(_double, [1, 2, 3, 4])
+            pids = pool.pids()
+            assert len(pids) >= 1
+            assert all(isinstance(p, int) and p > 0 for p in pids)
+            assert pids == sorted(pids)
+            assert os.getpid() not in pids
+        assert pool.pids() == []  # closed pool has no workers
+
+
 class TestPoolTeardown:
     """close() must surface shutdown failures, not swallow them."""
 

@@ -1,0 +1,254 @@
+"""Supervised execution: deadlines, crash retry, leases, circuit breaker.
+
+The execution-robustness contract pinned here:
+
+* a supervised job runs in a killable worker process; killing that
+  process mid-job is a *transient* failure — the job retries with
+  backoff and completes;
+* the attempt budget is bounded: persistent crashes end in a permanent
+  ``retry-budget-exhausted`` failure with a structured diagnostic;
+* a deadline is a budget, not a fault: exceeding ``timeout_s`` kills
+  the process and fails the job permanently (no retry);
+* task errors inside the child ride back as :class:`RemoteJobError`
+  and render exactly like inline failures — permanent, no retry;
+* repeated crash-class failures open a circuit breaker that degrades
+  to inline execution (service stays available, reason recorded) and
+  a successful half-open probe closes it again;
+* an expired lease revokes the running attempt: bump the token,
+  re-enqueue (or fail once the budget is gone) — completion is applied
+  exactly once.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.designs import paper_example
+from repro.netlist import textio
+from repro.runconfig import RunConfig
+from repro.serve import DONE, FAILED, QUEUED, RUNNING, JobService, WorkerSupervisor
+from repro.serve.jobs import METHODS
+from repro.serve.supervisor import CLOSED, HALF_OPEN, OPEN, RemoteJobError
+
+RUN = {"cycles": 120, "engine": "compiled", "workers": 1}
+
+
+def make_service(**kwargs) -> JobService:
+    kwargs.setdefault("queue_size", 8)
+    kwargs.setdefault("job_workers", 1)
+    kwargs.setdefault("supervise", True)
+    kwargs.setdefault("retry_base_s", 0.01)
+    kwargs.setdefault("retry_cap_s", 0.05)
+    return JobService(**kwargs)
+
+
+def _wire_payload(method: str = "validate") -> dict:
+    return {
+        "method": method,
+        "design_text": textio.dumps(paper_example()),
+        "run": RunConfig(cycles=50).to_dict(),
+        "params": {},
+    }
+
+
+class TestSupervisedExecution:
+    def test_normal_job_completes_in_one_attempt(self):
+        service = make_service()
+        try:
+            job = service.submit("estimate", builtin="design1", run=RUN)
+            job = service.wait(job.id, timeout=120)
+            assert job.state == DONE and job.attempts == 1
+            assert service.supervisor.status()["executed"] == 1
+        finally:
+            service.shutdown()
+
+    def test_crashing_child_retries_then_exhausts_budget(self, monkeypatch):
+        # The supervisor forks, so the child inherits this patch — the
+        # same injection channel the chaos harness uses.
+        def die(session, params):
+            os._exit(17)
+
+        monkeypatch.setitem(METHODS, "estimate", (frozenset(), die))
+        service = make_service(max_attempts=2)
+        try:
+            job = service.submit("estimate", builtin="design1", run=RUN)
+            job = service.wait(job.id, timeout=60)
+            assert job.state == FAILED and job.attempts == 2
+            assert job.error["type"] == "WorkerCrashError"
+            codes = [d["code"] for d in job.error["diagnostics"]]
+            assert "retry-budget-exhausted" in codes
+            with service._obs_lock:
+                assert service.recorder.metrics.value("serve.jobs.retries") == 1
+        finally:
+            service.shutdown()
+
+    def test_deadline_kills_and_fails_permanently(self, monkeypatch):
+        def sleepy(session, params):
+            time.sleep(30)
+            return {}
+
+        monkeypatch.setitem(METHODS, "estimate", (frozenset(), sleepy))
+        service = make_service(max_attempts=3)
+        try:
+            job = service.submit(
+                "estimate", builtin="design1", run=RUN, timeout_s=0.2
+            )
+            job = service.wait(job.id, timeout=60)
+            assert job.state == FAILED
+            assert job.attempts == 1  # a deadline is never retried
+            assert job.error["type"] == "JobDeadlineError"
+            assert job.error["diagnostics"][0]["code"] == "deadline-exceeded"
+            assert service.supervisor.status()["deadline_kills"] == 1
+            with service._obs_lock:
+                assert service.recorder.metrics.value("serve.jobs.timeouts") == 1
+        finally:
+            service.shutdown()
+
+    def test_task_error_crosses_pipe_as_permanent_failure(self, monkeypatch):
+        def broken(session, params):
+            raise ValueError("task-level problem")
+
+        monkeypatch.setitem(METHODS, "estimate", (frozenset(), broken))
+        service = make_service(max_attempts=3)
+        try:
+            job = service.submit("estimate", builtin="design1", run=RUN)
+            job = service.wait(job.id, timeout=60)
+            assert job.state == FAILED and job.attempts == 1
+            assert job.error["type"] == "ValueError"
+            assert "task-level problem" in job.error["message"]
+            assert job.error["diagnostics"]
+        finally:
+            service.shutdown()
+
+    def test_submit_validates_robustness_knobs(self):
+        service = make_service()
+        try:
+            from repro.errors import ServeError
+
+            with pytest.raises(ServeError):
+                service.submit(
+                    "estimate", builtin="design1", run=RUN, timeout_s=0.0
+                )
+            with pytest.raises(ServeError):
+                service.submit(
+                    "estimate", builtin="design1", run=RUN, max_attempts=0
+                )
+        finally:
+            service.shutdown()
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_and_degrades_inline(self):
+        supervisor = WorkerSupervisor(
+            circuit_threshold=2, circuit_cooldown_s=60.0
+        )
+        assert supervisor.circuit_state == CLOSED
+        supervisor._record_crash("boom 1")
+        assert supervisor.circuit_state == CLOSED
+        supervisor._record_crash("boom 2")
+        assert supervisor.circuit_state == OPEN
+        assert "boom 2" in supervisor.open_reason
+        # Open circuit: jobs run inline — available, not dark.
+        result = supervisor.execute("j1", _wire_payload())
+        assert result["ok"] is True
+        assert supervisor.status()["inline_runs"] == 1
+
+    def test_half_open_probe_success_closes(self):
+        supervisor = WorkerSupervisor(circuit_threshold=1, circuit_cooldown_s=0.0)
+        supervisor._record_crash("boom")
+        assert supervisor.circuit_state == HALF_OPEN
+        result = supervisor.execute("j1", _wire_payload())
+        assert result["ok"] is True
+        assert supervisor.circuit_state == CLOSED
+        assert supervisor.status()["circuit"] == CLOSED
+
+    def test_failed_half_open_probe_rearms_the_cooldown(self):
+        supervisor = WorkerSupervisor(circuit_threshold=1, circuit_cooldown_s=60.0)
+        supervisor._record_crash("first")
+        supervisor._opened_at -= 120.0  # fast-forward into half-open
+        assert supervisor.circuit_state == HALF_OPEN
+        supervisor._record_crash("probe also crashed")
+        assert supervisor.circuit_state == OPEN
+        assert supervisor.status()["circuit_opens"] == 1  # one open, re-armed
+
+
+class TestLeases:
+    def _running_job(self, service, lease_expired: bool) -> object:
+        job = service.submit("estimate", builtin="design1", run=RUN)
+        with service._jobs_lock:
+            job.state = RUNNING
+            job.attempts = 1
+            job.attempt_token = 1
+            job.lease_expires_at = time.time() + (-1.0 if lease_expired else 60.0)
+        return job
+
+    def test_expired_lease_reenqueues_with_token_bump(self):
+        service = make_service(start=False, max_attempts=3)
+        job = self._running_job(service, lease_expired=True)
+        token = job.attempt_token
+        assert service._reap_expired_leases() == 1
+        assert job.state == QUEUED and job.attempt_token == token + 1
+        assert job.last_transient_error == "lease expired"
+        with service._obs_lock:
+            assert service.recorder.metrics.value("serve.leases.expired") == 1
+
+    def test_live_lease_left_alone(self):
+        service = make_service(start=False)
+        job = self._running_job(service, lease_expired=False)
+        assert service._reap_expired_leases() == 0
+        assert job.state == RUNNING
+
+    def test_expired_lease_with_spent_budget_fails(self):
+        service = make_service(start=False, max_attempts=1)
+        job = self._running_job(service, lease_expired=True)
+        assert service._reap_expired_leases() == 1
+        assert job.state == FAILED
+        assert job.error["type"] == "LeaseExpiredError"
+        assert job.error["diagnostics"][0]["code"] == "retry-budget-exhausted"
+
+    def test_superseded_attempt_cannot_apply_its_outcome(self):
+        # The exactly-once guard: after the reaper bumps the token, the
+        # zombie attempt's outcome application must be a no-op.
+        service = make_service(start=False, max_attempts=3)
+        job = self._running_job(service, lease_expired=True)
+        stale_token = job.attempt_token
+        service._reap_expired_leases()
+        assert job.state == QUEUED
+        with service._jobs_lock:  # what the zombie attempt would do
+            applied = job.attempt_token == stale_token and job.state == RUNNING
+        assert not applied
+
+
+class TestShutdownLiveness:
+    def test_stuck_worker_thread_detected_and_reported(self, monkeypatch):
+        def slow(session, params):
+            time.sleep(1.5)
+            return {"design": session.design.name}
+
+        monkeypatch.setitem(METHODS, "estimate", (frozenset(), slow))
+        service = JobService(queue_size=4, job_workers=1, supervise=False)
+        try:
+            service.submit("estimate", builtin="design1", run=RUN)
+            time.sleep(0.1)  # let the worker pick the job up
+            service.shutdown(timeout=0.05)
+            with service._obs_lock:
+                stuck = service.recorder.metrics.value(
+                    "serve.shutdown.stuck_threads"
+                )
+            assert stuck == 1
+        finally:
+            time.sleep(2.0)  # let the daemon thread drain before teardown
+
+    def test_clean_shutdown_reports_no_stuck_threads(self):
+        service = JobService(queue_size=4, job_workers=2)
+        job = service.submit("estimate", builtin="design1", run=RUN)
+        service.shutdown(timeout=60.0)
+        assert service.get(job.id).state == DONE
+        with service._obs_lock:
+            assert (
+                service.recorder.metrics.value("serve.shutdown.stuck_threads")
+                is None
+            )
