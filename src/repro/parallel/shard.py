@@ -244,6 +244,7 @@ def run_shard(
     stimulus_kwargs: Optional[Mapping[str, object]] = None,
     nets: Optional[Sequence[str]] = None,
     checkpoint_every: Optional[int] = None,
+    lane_width: Optional[int] = None,
 ) -> ShardStats:
     """Execute one shard and return its raw counters.
 
@@ -268,7 +269,9 @@ def run_shard(
         probe_monitors = [
             BatchProbe(name, expr) for name, expr in sorted((probes or {}).items())
         ]
-        simulator = BatchSimulator(design, batch_size=spec.lanes, engine=engine)
+        simulator = BatchSimulator(
+            design, batch_size=spec.lanes, engine=engine, lane_width=lane_width
+        )
         stimulus = BatchRandomStimulus(
             design, batch_size=spec.lanes, seed=spec.seed, **dict(stimulus_kwargs or {})
         )
@@ -321,6 +324,7 @@ def _run_shard_payload(payload: dict) -> ShardStats:
         stimulus_kwargs=payload["stimulus_kwargs"],
         nets=payload["nets"],
         checkpoint_every=payload["checkpoint_every"],
+        lane_width=payload.get("lane_width"),
     )
 
 
@@ -353,6 +357,7 @@ def run_batch_sharded(
     nets: Optional[Sequence[str]] = None,
     checkpoint_every: Optional[int] = None,
     pool: Optional[WorkerPool] = None,
+    lane_width: Optional[int] = None,
 ) -> ShardedRun:
     """Shard a batch Monte-Carlo run over a process pool and merge it.
 
@@ -380,6 +385,7 @@ def run_batch_sharded(
             "stimulus_kwargs": dict(stimulus_kwargs or {}),
             "nets": list(nets) if nets is not None else None,
             "checkpoint_every": checkpoint_every,
+            "lane_width": lane_width,
         }
         for spec in plan
     ]

@@ -27,13 +27,14 @@ from __future__ import annotations
 
 import copy
 import math
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro import obs
-from repro.errors import SimulationError, StimulusError
+from repro.errors import CompilationError, SimulationError, StimulusError
 from repro.netlist.arith import (
     Adder,
     Comparator,
@@ -258,11 +259,15 @@ class BatchDataStream:
         )
 
     def next_values(self, rng: np.random.Generator) -> np.ndarray:
-        flips = np.zeros_like(self.state)
-        for bit in range(self.width):
-            flip = rng.random(self.state.shape[0]) < self.density
-            flips |= flip.astype(np.uint64) << np.uint64(bit)
-        self.state ^= flips
+        # One (width, n) draw consumes the generator stream in the same
+        # order as the historical per-bit draws, so the values are
+        # bit-identical to the loop form — just one rng call per cycle.
+        n = self.state.shape[0]
+        flip = rng.random((self.width, n)) < self.density
+        weights = np.uint64(1) << np.arange(self.width, dtype=np.uint64)
+        self.state ^= (flip.astype(np.uint64).T * weights).sum(
+            axis=1, dtype=np.uint64
+        )
         return self.state
 
 
@@ -356,17 +361,37 @@ class BatchSimulator:
     pre-bound per-cell closures (nets, masks and operand order resolved
     once at construction) instead of re-dispatching through the
     ``isinstance`` chain of :meth:`_evaluate` on every cell of every
-    cycle. Both engines are bit-exact with each other.
+    cycle. With ``engine="bitslice"`` the whole batch runs through the
+    lane-packed bigint kernel of :mod:`repro.sim.bitslice`: replications
+    map 1:1 onto bit lanes (``lane_width`` per word, default 64), so a
+    two-input gate costs a couple of bigint ops for the entire batch.
+    All engines are bit-exact with each other; if the bitslice lowering
+    rejects the design, construction degrades to ``"compiled"`` with a
+    ``RuntimeWarning`` and a recorded :attr:`fallback_reason`.
     """
 
+    #: Set when a requested engine could not be built and a slower one
+    #: stands in (bitslice -> compiled degradation).
+    fallback_reason: Optional[str] = None
+
     def __init__(
-        self, design: Design, batch_size: int = 32, engine: str = "python"
+        self,
+        design: Design,
+        batch_size: int = 32,
+        engine: str = "python",
+        lane_width: Optional[int] = None,
     ) -> None:
         # The lockstep "checked" mode exists only for the scalar engines;
         # reject it here rather than silently running unchecked.
-        if engine not in ("python", "compiled"):
+        if engine not in ("python", "compiled", "bitslice"):
             raise SimulationError(
-                f"batch engine supports 'python' or 'compiled', got {engine!r}"
+                f"batch engine supports 'python', 'compiled' or 'bitslice', "
+                f"got {engine!r}"
+            )
+        if lane_width is not None and engine != "bitslice":
+            raise SimulationError(
+                f"lane_width only applies to engine='bitslice', "
+                f"got lane_width={lane_width} with engine={engine!r}"
             )
         for net in design.nets:
             if net.width > _MAX_WIDTH:
@@ -376,7 +401,29 @@ class BatchSimulator:
                 )
         self.design = design
         self.batch_size = batch_size
+        self._bskernel = None
+        if engine == "bitslice":
+            # Imported lazily: repro.sim.bitslice imports this module.
+            from repro.sim.bitslice import BitsliceBatchKernel
+
+            try:
+                self._bskernel = BitsliceBatchKernel(
+                    design, batch_size, lane_width if lane_width else 64
+                )
+            except CompilationError as exc:
+                warnings.warn(
+                    f"batch engine 'bitslice' unavailable for design "
+                    f"{design.name!r} ({exc}); falling back to the compiled "
+                    f"engine",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                self.fallback_reason = str(exc)
+                engine = "compiled"
         self.engine = engine
+        self.lane_width = (
+            self._bskernel.lane_width if self._bskernel is not None else None
+        )
         self._order = combinational_order(design)
         self._registers = design.registers
         self._stateful_comb = [
@@ -392,6 +439,11 @@ class BatchSimulator:
     def reset(self) -> None:
         n = self.batch_size
         self.cycle = 0
+        if self._bskernel is not None:
+            self._bskernel.reset()
+            self.values = self._bskernel.values_view
+            self.state = {}
+            return
         self.values: Dict[Net, np.ndarray] = {
             net: np.zeros(n, dtype=np.uint64) for net in self.design.nets
         }
@@ -410,7 +462,10 @@ class BatchSimulator:
             self.values[net] = np.full(n, net.clip(const.value), dtype=np.uint64)
 
     # ------------------------------------------------------------------
-    def step(self, pi_values: Mapping[str, np.ndarray]) -> Dict[Net, np.ndarray]:
+    def step(self, pi_values: Mapping[str, np.ndarray]) -> Mapping[Net, np.ndarray]:
+        if self._bskernel is not None:
+            self._bskernel.step(pi_values)
+            return self.values
         for pi in self.design.primary_inputs:
             net = pi.net("Y")
             try:
@@ -429,6 +484,10 @@ class BatchSimulator:
         return self.values
 
     def commit(self) -> None:
+        if self._bskernel is not None:
+            self._bskernel.commit()
+            self.cycle += 1
+            return
         updates: Dict[Cell, np.ndarray] = {}
         for reg in self._registers:
             d = self.values[reg.net("D")]
@@ -475,6 +534,11 @@ class BatchSimulator:
             raise SimulationError(
                 f"checkpoint_every must be >= 1, got {checkpoint_every}"
             )
+        if self._bskernel is not None:
+            return self._run_bitslice(
+                stimulus, cycles, monitors, warmup, checkpoint_every,
+                resume_from,
+            )
         with obs.span(
             "sim.batch",
             "sim",
@@ -505,6 +569,63 @@ class BatchSimulator:
                 monitor.finish()
             return monitors
 
+    def _run_bitslice(
+        self,
+        stimulus,
+        cycles: int,
+        monitors: Optional[Sequence[BatchMonitor]],
+        warmup: int,
+        checkpoint_every: Optional[int],
+        resume_from: Optional[BatchCheckpoint],
+    ) -> List[BatchMonitor]:
+        """The :meth:`run` loop for the lane-packed kernel.
+
+        Same loop structure and checkpoint semantics as the generic
+        path; the difference is that monitor accumulation happens inside
+        the kernel (lane-packed counters) and is published back into the
+        live monitor objects via ``sync_monitors`` at every checkpoint
+        and at the end of the run.
+        """
+        kernel = self._bskernel
+        with obs.span(
+            "sim.batch",
+            "sim",
+            design=self.design.name,
+            batch_size=self.batch_size,
+            cycles=cycles,
+            warmup=warmup,
+            resumed=resume_from is not None,
+            engine="bitslice",
+            lane_width=kernel.lane_width,
+        ):
+            obs.counter("lanes.packed").inc(self.batch_size)
+            if resume_from is not None:
+                self.restore(resume_from)
+                monitors = self._copy_monitors(resume_from.monitors)
+                start = resume_from.step_index
+                kernel.observed = max(0, start - warmup)
+                kernel.attach_monitors(monitors, resume=True)
+            else:
+                monitors = list(monitors or [])
+                for monitor in monitors:
+                    monitor.begin(self.design, self.batch_size)
+                start = 0
+                kernel.observed = 0
+                kernel.attach_monitors(monitors, resume=False)
+            for i in range(start, warmup + cycles):
+                kernel.step(stimulus.values(self.cycle))
+                if i >= warmup:
+                    kernel.observe(self.cycle)
+                kernel.commit()
+                self.cycle += 1
+                if checkpoint_every is not None and (i + 1) % checkpoint_every == 0:
+                    kernel.sync_monitors()
+                    self.last_checkpoint = self.checkpoint(i + 1, monitors)
+            kernel.sync_monitors()
+            for monitor in monitors:
+                monitor.finish()
+            return monitors
+
     # ------------------------------------------------------------------
     # Checkpoint / resume
     # ------------------------------------------------------------------
@@ -518,13 +639,22 @@ class BatchSimulator:
         Nets and cells are shared (identity-preserved) between the
         snapshot and the live design, so restored monitors keep
         observing the same objects; only the numpy accumulators are
-        duplicated.
+        duplicated. Checkpoints are engine-portable: the bitslice kernel
+        materialises the same per-lane value/state arrays the generic
+        engines hold, so a checkpoint taken under one engine resumes
+        under any other.
         """
+        if self._bskernel is not None:
+            values = self._bskernel.unpack_values()
+            state = self._bskernel.unpack_state()
+        else:
+            values = {net: arr.copy() for net, arr in self.values.items()}
+            state = {cell: arr.copy() for cell, arr in self.state.items()}
         return BatchCheckpoint(
             cycle=self.cycle,
             step_index=step_index,
-            values={net: arr.copy() for net, arr in self.values.items()},
-            state={cell: arr.copy() for cell, arr in self.state.items()},
+            values=values,
+            state=state,
             monitors=self._copy_monitors(monitors),
         )
 
@@ -541,6 +671,12 @@ class BatchSimulator:
     def restore(self, checkpoint: BatchCheckpoint) -> None:
         """Reset the simulator to a previously taken checkpoint."""
         self.cycle = checkpoint.cycle
+        if self._bskernel is not None:
+            self._bskernel.load_values(checkpoint.values)
+            self._bskernel.load_state(checkpoint.state)
+            self.values = self._bskernel.values_view
+            self.state = {}
+            return
         self.values = {net: arr.copy() for net, arr in checkpoint.values.items()}
         self.state = {cell: arr.copy() for cell, arr in checkpoint.state.items()}
 

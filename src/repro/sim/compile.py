@@ -825,6 +825,18 @@ class CompiledSimulator:
         self.cycle += 1
 
     # ------------------------------------------------------------------
+    def state_items(self) -> List[Tuple[str, int]]:
+        """(cell name, state value) pairs for cross-engine comparison."""
+        st = self._state
+        return [
+            (name, st[slot]) for name, slot in self.program.state_slot.items()
+        ]
+
+    def state_value(self, name: str) -> int:
+        """Committed state of the named register/latch."""
+        return self._state[self.program.state_slot[name]]
+
+    # ------------------------------------------------------------------
     def run(
         self,
         stimulus: Stimulus,

@@ -25,7 +25,7 @@ from typing import List, Optional
 
 from repro.errors import EquivalenceError
 from repro.netlist.design import Design
-from repro.sim.engine import Simulator
+from repro.sim.engine import make_simulator
 from repro.sim.stimulus import Stimulus
 
 
@@ -65,6 +65,7 @@ def check_observable_equivalence(
     cycles: int,
     max_mismatches: int = 10,
     compare_registers: bool = True,
+    engine: str = "python",
 ) -> EquivalenceReport:
     """Co-simulate and compare observable state.
 
@@ -78,9 +79,13 @@ def check_observable_equivalence(
     pipeline registers capture blocked values in cycles where the
     captured value is provably never consumed — the architectural
     outputs still match cycle-for-cycle.
+
+    ``engine`` selects the simulation backend for both sides (any
+    :data:`repro.runconfig.ENGINES` member), so the fault campaign can
+    exercise the generated engines end-to-end.
     """
-    golden_sim = Simulator(golden)
-    candidate_sim = Simulator(candidate)
+    golden_sim = make_simulator(golden, engine)
+    candidate_sim = make_simulator(candidate, engine)
 
     golden_outputs = {po.name: po.net("A") for po in golden.primary_outputs}
     candidate_outputs = {po.name: po.net("A") for po in candidate.primary_outputs}
@@ -109,9 +114,9 @@ def check_observable_equivalence(
                 )
         golden_sim.commit()
         candidate_sim.commit()
-        for name, reg in golden_regs.items():
-            expected = golden_sim.state[reg]
-            actual = candidate_sim.state[candidate_regs[name]]
+        for name in golden_regs:
+            expected = golden_sim.state_value(name)
+            actual = candidate_sim.state_value(name)
             if expected != actual:
                 report.mismatches.append(
                     Mismatch(cycle, "register", name, expected, actual)
@@ -126,9 +131,12 @@ def assert_observable_equivalence(
     candidate: Design,
     stimulus: Stimulus,
     cycles: int,
+    engine: str = "python",
 ) -> None:
     """Raise :class:`EquivalenceError` with details on any divergence."""
-    report = check_observable_equivalence(golden, candidate, stimulus, cycles)
+    report = check_observable_equivalence(
+        golden, candidate, stimulus, cycles, engine=engine
+    )
     if not report.equivalent:
         shown = "\n  ".join(str(m) for m in report.mismatches[:10])
         raise EquivalenceError(

@@ -382,8 +382,14 @@ def evaluate_fault(
     spec: FaultSpec,
     cycles: int = 300,
     trials: Tuple[Tuple[int, float], ...] = DEFAULT_TRIALS,
+    engine: str = "python",
 ) -> FaultOutcome:
-    """Inject one fault and run it through every defence layer in order."""
+    """Inject one fault and run it through every defence layer in order.
+
+    ``engine`` selects the co-simulation backend for the equivalence
+    layer, so campaigns can qualify the generated engines (``compiled``,
+    ``bitslice``) with the same detected/masked/silent taxonomy.
+    """
     try:
         faulted = inject_fault(design, spec)
     except FaultInjectionError:
@@ -417,7 +423,9 @@ def evaluate_fault(
             stimulus = random_stimulus(
                 design, seed=seed, control_probability=control_probability
             )
-            report = check_observable_equivalence(design, faulted, stimulus, cycles)
+            report = check_observable_equivalence(
+                design, faulted, stimulus, cycles, engine=engine
+            )
         except ReproError as exc:
             return FaultOutcome(spec, detected_by="typed-error", detail=str(exc))
         except Exception as exc:  # noqa: BLE001
@@ -445,6 +453,7 @@ def run_campaign(
     per_kind: int = 2,
     cycles: int = 300,
     trials: Tuple[Tuple[int, float], ...] = DEFAULT_TRIALS,
+    engine: str = "python",
 ) -> CampaignReport:
     """Inject every fault (enumerated unless given) and classify outcomes.
 
@@ -455,7 +464,9 @@ def run_campaign(
     specs = list(faults) if faults is not None else enumerate_faults(design, per_kind)
     report = CampaignReport(design=design.name)
     for spec in specs:
-        report.outcomes.append(evaluate_fault(design, spec, cycles, trials))
+        report.outcomes.append(
+            evaluate_fault(design, spec, cycles, trials, engine=engine)
+        )
     return report
 
 

@@ -1,0 +1,337 @@
+"""Unit tests of the bit-slicing primitives and kernel edge cases.
+
+Covers the satellite checklist of the differential rig: lane
+pack/unpack round-trips, XOR-delta popcounts vs the naive per-lane
+count, masked-overflow behaviour at word boundaries, the seeded-bug
+regression (a corrupted plane constant must trip ``engine="checked"``),
+ragged final words, and checkpoint/resume across a mid-word boundary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.designs import design1, paper_example, soc_datapath
+from repro.errors import EquivalenceError
+from repro.sim import (
+    BatchRandomStimulus,
+    BatchSimulator,
+    BatchToggleMonitor,
+    BitsliceSimulator,
+    CheckedSimulator,
+    bitslice_cache,
+    compile_bitslice,
+    pack_lanes,
+    unpack_lanes,
+)
+from repro.sim.bitslice import _ripple_increment, pack_scalar
+from repro.sim.checked import DEFAULT_CHECK_INTERVAL
+
+
+# ----------------------------------------------------------------------
+# Packing primitives
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n", [1, 3, 7, 8, 9, 63, 64, 65, 200])
+@pytest.mark.parametrize("width", [1, 5, 32, 64])
+def test_pack_unpack_round_trip(n, width):
+    rng = np.random.default_rng(n * 1000 + width)
+    values = rng.integers(0, 1 << min(width, 63), size=n, dtype=np.uint64)
+    planes = pack_lanes(values, width)
+    assert len(planes) == width
+    lane_mask = (1 << n) - 1
+    for plane in planes:
+        assert plane & ~lane_mask == 0, "phantom lanes must stay zero"
+    np.testing.assert_array_equal(unpack_lanes(planes, n), values)
+
+
+def test_pack_lanes_drops_bits_beyond_width():
+    # Values wider than the net width are clipped by packing alone —
+    # the masked-overflow contract at word boundaries.
+    values = np.array([0b1111, 0b1010, 0b0111], dtype=np.uint64)
+    planes = pack_lanes(values, 2)
+    np.testing.assert_array_equal(unpack_lanes(planes, 3), values & 0b11)
+
+
+def test_pack_scalar_matches_pack_lanes():
+    value = 0b1011001
+    width = 7
+    assert pack_scalar(value, width) == pack_lanes(
+        np.array([value], dtype=np.uint64), width
+    )
+
+
+def test_xor_delta_popcount_matches_naive():
+    rng = np.random.default_rng(7)
+    n, width = 50, 9
+    a = rng.integers(0, 1 << width, size=n, dtype=np.uint64)
+    b = rng.integers(0, 1 << width, size=n, dtype=np.uint64)
+    pa, pb = pack_lanes(a, width), pack_lanes(b, width)
+    # Bit-sliced toggle count: popcount of per-plane XOR deltas.
+    sliced_total = sum((x ^ y).bit_count() for x, y in zip(pa, pb))
+    naive_total = sum(int(x ^ y).bit_count() for x, y in zip(a, b))
+    assert sliced_total == naive_total
+    # Per-lane: unpacked single-bit deltas reassemble the naive counts.
+    per_lane = np.zeros(n, dtype=np.uint64)
+    for x, y in zip(pa, pb):
+        per_lane += unpack_lanes([x ^ y], n)
+    np.testing.assert_array_equal(
+        per_lane, [int(x ^ y).bit_count() for x, y in zip(a, b)]
+    )
+
+
+def test_ripple_increment_counts_in_lane_binary():
+    n = 11
+    counters = []
+    totals = np.zeros(n, dtype=np.uint64)
+    rng = np.random.default_rng(3)
+    for _ in range(100):
+        delta = int(rng.integers(0, 1 << n))
+        _ripple_increment(counters, delta)
+        totals += unpack_lanes([delta], n)
+    np.testing.assert_array_equal(unpack_lanes(counters, n), totals)
+
+
+# ----------------------------------------------------------------------
+# Seeded-bug regression: a flipped plane constant must be caught
+# ----------------------------------------------------------------------
+def test_checked_catches_seeded_bitslice_bug():
+    design = design1()
+    program = bitslice_cache().get(design)
+    original_step = program.step
+
+    def corrupted(v, s, pi, LM, hlp):
+        original_step(v, s, pi, LM, hlp)
+        v[5] ^= LM  # model of one flipped mask constant in the lowering
+
+    program.step = corrupted
+    try:
+        subject = BitsliceSimulator(design, program=program)
+        checked = CheckedSimulator(design, compiled=subject)
+        from repro.sim import random_stimulus
+
+        with pytest.raises(EquivalenceError) as excinfo:
+            checked.run(random_stimulus(design, seed=0), 300)
+        message = str(excinfo.value)
+        assert "diverged" in message
+        assert f"cycle {DEFAULT_CHECK_INTERVAL}" in message
+        assert "check #1" in message
+        assert "bitslice" in message
+        assert program.design_hash[:12] in message
+    finally:
+        program.step = original_step  # the program is globally cached
+
+
+# ----------------------------------------------------------------------
+# Lane-count edge cases: ragged words and mid-word checkpoints
+# ----------------------------------------------------------------------
+def _toggles(design, batch, lane_width, seed, cycles=40, warmup=4):
+    sim = BatchSimulator(
+        design, batch_size=batch, engine="bitslice", lane_width=lane_width
+    )
+    monitor = BatchToggleMonitor()
+    sim.run(BatchRandomStimulus(design, batch, seed=seed), cycles,
+            monitors=[monitor], warmup=warmup)
+    return monitor
+
+
+@pytest.mark.parametrize("batch,lane_width", [(13, 5), (7, 64), (9, 4), (1, 64)])
+def test_ragged_final_word_counts_no_phantom_toggles(batch, lane_width):
+    """A batch that does not divide lane_width must match the plain
+    numpy batch engine exactly — phantom lanes contribute nothing."""
+    design = paper_example()
+    ref_sim = BatchSimulator(design, batch_size=batch, engine="python")
+    ref = BatchToggleMonitor()
+    ref_sim.run(BatchRandomStimulus(design, batch, seed=17), 40,
+                monitors=[ref], warmup=4)
+    got = _toggles(design, batch, lane_width, seed=17)
+    assert got.cycles == ref.cycles
+    for net in ref.toggles:
+        np.testing.assert_array_equal(
+            ref.toggles[net], got.toggles[net], err_msg=net.name
+        )
+
+
+@pytest.mark.parametrize("checkpoint_every", [3, 7, 21])
+def test_checkpoint_resume_across_mid_word_boundary(checkpoint_every):
+    """Resume from a checkpoint taken mid-word (and mid-warmup for the
+    small cadences) reproduces the uninterrupted counts exactly."""
+    design = soc_datapath()
+    batch, lane_width, cycles, warmup, seed = 13, 5, 50, 6, 9
+
+    full = _toggles(design, batch, lane_width, seed, cycles, warmup)
+
+    first = BatchSimulator(
+        design, batch_size=batch, engine="bitslice", lane_width=lane_width
+    )
+    first.run(
+        BatchRandomStimulus(design, batch, seed=seed), cycles,
+        monitors=[BatchToggleMonitor()], warmup=warmup,
+        checkpoint_every=checkpoint_every,
+    )
+    checkpoint = first.last_checkpoint
+    assert checkpoint is not None
+
+    # Replay the stimulus stream up to the checkpoint, then resume.
+    replay = BatchRandomStimulus(design, batch, seed=seed)
+    for cycle in range(checkpoint.cycle):
+        replay.values(cycle)
+    resumed_sim = BatchSimulator(
+        design, batch_size=batch, engine="bitslice", lane_width=lane_width
+    )
+    resumed = resumed_sim.run(replay, cycles, warmup=warmup,
+                              resume_from=checkpoint)
+    monitor = resumed[0]
+    assert monitor.cycles == full.cycles
+    for net in full.toggles:
+        np.testing.assert_array_equal(
+            full.toggles[net], monitor.toggles[net], err_msg=net.name
+        )
+
+
+def test_checkpoint_is_engine_portable():
+    """A checkpoint taken under bitslice resumes under the numpy engine
+    (and vice versa) with identical counts."""
+    design = paper_example()
+    batch, cycles, warmup, seed = 13, 40, 4, 23
+
+    full = _toggles(design, batch, 5, seed, cycles, warmup)
+
+    donor = BatchSimulator(design, batch_size=batch, engine="bitslice",
+                           lane_width=5)
+    donor.run(BatchRandomStimulus(design, batch, seed=seed), cycles,
+              monitors=[BatchToggleMonitor()], warmup=warmup,
+              checkpoint_every=13)
+    checkpoint = donor.last_checkpoint
+
+    replay = BatchRandomStimulus(design, batch, seed=seed)
+    for cycle in range(checkpoint.cycle):
+        replay.values(cycle)
+    other = BatchSimulator(design, batch_size=batch, engine="python")
+    resumed = other.run(replay, cycles, warmup=warmup, resume_from=checkpoint)
+    for net in full.toggles:
+        np.testing.assert_array_equal(
+            full.toggles[net], resumed[0].toggles[net], err_msg=net.name
+        )
+
+
+# ----------------------------------------------------------------------
+# Monitor flavours: probes, wide words (> 64 lanes), generic monitors
+# ----------------------------------------------------------------------
+def test_batch_probe_matches_python_engine():
+    from repro.boolean.expr import var
+    from repro.sim.batch import BatchProbe
+
+    design = design1()
+    counts = {}
+    for engine in ("python", "bitslice"):
+        probe = BatchProbe("en", var("EN"))
+        BatchSimulator(design, batch_size=11, engine=engine).run(
+            BatchRandomStimulus(design, 11, seed=4), 80,
+            monitors=[probe], warmup=5,
+        )
+        counts[engine] = (probe.true_counts.copy(), probe.cycles)
+    np.testing.assert_array_equal(counts["python"][0], counts["bitslice"][0])
+    assert counts["python"][1] == counts["bitslice"][1]
+
+
+def test_wide_word_monitors_use_ripple_counters():
+    """A word wider than a machine word (> 64 lanes) takes the
+    bigint ripple-counter path and still matches the numpy engine."""
+    design = paper_example()
+    batch, lane_width = 100, 200
+    ref = BatchToggleMonitor()
+    BatchSimulator(design, batch_size=batch, engine="python").run(
+        BatchRandomStimulus(design, batch, seed=31), 40,
+        monitors=[ref], warmup=4,
+    )
+    got = _toggles(design, batch, lane_width, seed=31)
+    for net in ref.toggles:
+        np.testing.assert_array_equal(
+            ref.toggles[net], got.toggles[net], err_msg=net.name
+        )
+
+
+def test_wide_word_checkpoint_resume():
+    """Resume re-seeds the bigint ripple counters when lanes > 64."""
+    design = paper_example()
+    batch, lane_width, cycles, warmup, seed = 70, 100, 30, 3, 13
+
+    full = _toggles(design, batch, lane_width, seed, cycles, warmup)
+
+    first = BatchSimulator(
+        design, batch_size=batch, engine="bitslice", lane_width=lane_width
+    )
+    first.run(
+        BatchRandomStimulus(design, batch, seed=seed), cycles,
+        monitors=[BatchToggleMonitor()], warmup=warmup, checkpoint_every=11,
+    )
+    checkpoint = first.last_checkpoint
+    replay = BatchRandomStimulus(design, batch, seed=seed)
+    for cycle in range(checkpoint.cycle):
+        replay.values(cycle)
+    resumed_sim = BatchSimulator(
+        design, batch_size=batch, engine="bitslice", lane_width=lane_width
+    )
+    resumed = resumed_sim.run(replay, cycles, warmup=warmup,
+                              resume_from=checkpoint)
+    for net in full.toggles:
+        np.testing.assert_array_equal(
+            full.toggles[net], resumed[0].toggles[net], err_msg=net.name
+        )
+
+
+def test_generic_monitor_sees_lane_values():
+    """Monitors that are neither BatchToggleMonitor nor BatchProbe get
+    the classic observe(cycle, values) callback with lane arrays."""
+
+    class RecordingMonitor:
+        def __init__(self, net):
+            self.net = net
+            self.seen = []
+
+        def begin(self, design, batch_size):
+            pass
+
+        def observe(self, cycle, values):
+            self.seen.append(values[self.net].copy())
+
+        def finish(self):
+            pass
+
+    design = design1()
+    net = design.net("X0")
+    recorders = {}
+    for engine in ("python", "bitslice"):
+        monitor = RecordingMonitor(net)
+        BatchSimulator(design, batch_size=9, engine=engine).run(
+            BatchRandomStimulus(design, 9, seed=2), 25,
+            monitors=[monitor], warmup=2,
+        )
+        recorders[engine] = monitor.seen
+    assert len(recorders["python"]) == len(recorders["bitslice"])
+    for a, b in zip(recorders["python"], recorders["bitslice"]):
+        np.testing.assert_array_equal(a, b)
+
+
+# ----------------------------------------------------------------------
+# Program cache
+# ----------------------------------------------------------------------
+def test_bitslice_cache_hits_on_identical_structure():
+    cache = bitslice_cache()
+    cache.clear()
+    BitsliceSimulator(design1())
+    misses_after_first = cache.misses
+    BitsliceSimulator(design1())
+    assert cache.misses == misses_after_first
+    assert cache.hits >= 1
+    assert len(cache) >= 1
+    stats = cache.stats()
+    assert stats["hits"] == cache.hits
+
+
+def test_compile_bitslice_source_is_recorded():
+    program = compile_bitslice(design1())
+    assert "def _bs_step(v, s, pi, LM, hlp):" in program.step_source
+    assert "def _bs_commit(v, s, LM):" in program.commit_source
+    assert program.n_planes == sum(net.width for net in design1().nets)

@@ -34,7 +34,7 @@ class TestRunConfig:
             RunConfig(**bad)
 
     def test_engines_constant(self):
-        assert ENGINES == ("python", "compiled", "checked")
+        assert ENGINES == ("python", "compiled", "bitslice", "checked")
 
 
 class TestResolveRunConfig:
