@@ -21,12 +21,14 @@ from repro.opt.framework import (
 # Importing the built-in pass modules registers them.
 from repro.opt.isolation import IsolationPass
 from repro.opt.gating import ClockGatingPass, GatingScore
+from repro.opt.rewriting import RewritePass
 
 __all__ = [
     "AppliedTransform",
     "ClockGatingPass",
     "GatingScore",
     "IsolationPass",
+    "RewritePass",
     "OptimizeConfig",
     "OptimizeResult",
     "OptIterationRecord",

@@ -108,6 +108,18 @@ class TransformPass:
     #: Registry key and the name used in records/results.
     name: str = "pass"
 
+    #: True for passes whose :meth:`apply` rewires or removes netlist
+    #: structure (isolation bank insertion, datapath rewriting). The
+    #: loop tracks this to protect structure-sensitive passes below.
+    changes_structure: bool = False
+
+    #: True for passes whose planned applications become unsafe once
+    #: *another* pass has changed the structure in the same iteration
+    #: (their candidates reference cells/nets that may no longer exist).
+    #: Such a pass is deferred to the next iteration's fresh
+    #: enumeration and measurement instead of applying stale plans.
+    conflicts_with_structure: bool = False
+
     def begin(self, ctx: PassContext) -> None:
         """Bind the run context; called once before the main loop."""
         self.ctx = ctx
@@ -517,10 +529,21 @@ def _run_optimize(
             # Greedy selection under the shared h_min budget (lines 17-29),
             # pass by pass in the listed order, group by group within each.
             performed = False
+            structure_changed = False
             for p, count in zip(passes, counts):
                 if not count:
                     continue
+                if structure_changed and p.conflicts_with_structure:
+                    # An earlier pass rewired the netlist this iteration;
+                    # this pass's candidates were enumerated against the
+                    # old structure. Defer to the next iteration rather
+                    # than apply stale plans.
+                    obs.counter("passes.deferred", deferred=p.name).inc()
+                    continue
+                applied_this_pass = False
                 for scores in p.score(total_power, monitor):
+                    if not scores:
+                        continue
                     record.scores.setdefault(p.name, []).extend(scores)
                     best = max(scores, key=lambda s: s.h)
                     if best.h >= config.weights.h_min:
@@ -530,8 +553,11 @@ def _run_optimize(
                         result.transforms.append(applied)
                         record.applied.append(applied)
                         performed = True
+                        applied_this_pass = True
                     else:
                         p.below_threshold(best)
+                if applied_this_pass and p.changes_structure:
+                    structure_changed = True
 
             result.iterations.append(record)
             span.set(

@@ -34,6 +34,10 @@ class IsolationPass(TransformPass):
     """Insert AND/OR/latch isolation banks in front of idle datapath modules."""
 
     name = "isolation"
+    # Bank insertion rewires module fanin; a structure-sensitive pass
+    # scored this iteration must not apply after isolation has.
+    changes_structure = True
+    conflicts_with_structure = True
 
     def begin(self, ctx: PassContext) -> None:
         super().begin(ctx)

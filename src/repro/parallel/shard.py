@@ -269,8 +269,14 @@ def run_shard(
         probe_monitors = [
             BatchProbe(name, expr) for name, expr in sorted((probes or {}).items())
         ]
+        # stacklevel=3: attribute a bitslice->compiled degradation warning
+        # to whoever invoked run_shard, not to this wrapper.
         simulator = BatchSimulator(
-            design, batch_size=spec.lanes, engine=engine, lane_width=lane_width
+            design,
+            batch_size=spec.lanes,
+            engine=engine,
+            lane_width=lane_width,
+            stacklevel=3,
         )
         stimulus = BatchRandomStimulus(
             design, batch_size=spec.lanes, seed=spec.seed, **dict(stimulus_kwargs or {})

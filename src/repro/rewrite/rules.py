@@ -1,0 +1,478 @@
+"""The three rewrite rule families of the datapath rewriter.
+
+Each finder scans a design for one structural pattern and emits
+:class:`RewritePlan` objects. A plan is *pure data plus a build recipe*:
+it names the cells the rewrite would delete, the boundary nets the
+replacement reads (``sources``), the output net whose readers get
+spliced, and a ``build`` function that constructs the replacement logic
+through a :class:`~repro.netlist.splice.GraftBuilder` given *any*
+mapping of the source nets. The same recipe therefore builds twice —
+once into a scratch design for exact power scoring against the traced
+input values, once into the working design when the plan wins selection
+— guaranteeing the scored and applied structures are identical.
+
+Rule families (all exact under the netlist's mod-2^w semantics):
+
+* ``strength_reduction`` — ``A * K`` with a constant operand becomes a
+  shift-add tree over the set bits of ``K`` (bits at or above the
+  output width drop out of the residue and are discarded).
+* ``reassociation`` — a single-reader chain of same-kind adds or muls
+  is re-shaped into a Huffman tree over the leaf toggle rates, so the
+  quietest operands combine deepest (mod-2^w ``+``/``*`` are fully
+  associative and commutative). The leaf order is fixed per iteration
+  from the shared estimation run via :meth:`RewritePlan.prepare`.
+* ``mux_hoist`` / ``mux_push`` — a shared operator is hoisted out of
+  the arms of a mux (``mux(s, x+y0, x+y1) -> x + mux(s, y0, y1)``), or
+  a two-way mux is pushed behind an operator (the inverse), shrinking
+  or conditioning the active cone. The two directions would undo each
+  other, so the finders never target cells the opposite rule created.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.netlist.arith import Adder, ArithModule, Multiplier, Subtractor
+from repro.netlist.cells import Cell
+from repro.netlist.design import Design
+from repro.netlist.logic import Mux
+from repro.netlist.nets import Net
+from repro.netlist.ports import Constant
+from repro.netlist.splice import GraftBuilder
+
+#: Strength reduction caps the shift-add fan-in: past this many set bits
+#: the adder tree costs more than the multiplier under any activity, so
+#: enumerating the candidate is wasted scoring work.
+MAX_SHIFT_TERMS = 6
+
+#: Kinds whose chains reassociate exactly under mod-2^w arithmetic.
+_ASSOCIATIVE_KINDS = ("add", "mul")
+
+#: Kinds mux rules move through (two-operand modules only).
+_MUXABLE_KINDS = {"add": Adder, "sub": Subtractor, "mul": Multiplier}
+
+
+@dataclass
+class RewritePlan:
+    """One candidate rewrite: what it deletes, reads, and builds.
+
+    ``build(graft, sources)`` receives nets positionally aligned with
+    :attr:`sources` (in the scratch design these are stand-in primary
+    inputs carrying the traced values of the real nets) and returns the
+    replacement output net. ``prepare`` — when set — is called once per
+    iteration with the shared toggle monitor before any scoring, letting
+    activity-dependent plans (reassociation) fix their shape from
+    measured rates; the shape is then frozen for score *and* apply.
+    """
+
+    rule: str
+    target: str
+    removed: List[Cell]
+    sources: List[Net]
+    out_net: Net
+    build: Callable[[GraftBuilder, Sequence[Net]], Net]
+    detail: dict = field(default_factory=dict)
+    prepare: Optional[Callable[["RewritePlan", object], None]] = None
+
+
+# ----------------------------------------------------------------------
+# Family 1: mul-by-constant strength reduction
+# ----------------------------------------------------------------------
+def _constant_operand(cell: ArithModule) -> Optional[str]:
+    """The port of ``cell`` driven by a constant, preferring B."""
+    for port in ("B", "A"):
+        driver = cell.net(port).driver
+        if driver is not None and isinstance(driver.cell, Constant):
+            return port
+    return None
+
+
+def find_strength_reduction(design: Design) -> List[RewritePlan]:
+    """``A * K`` -> shift-add tree over the set bits of ``K``."""
+    plans: List[RewritePlan] = []
+    for cell in sorted(design.cells, key=lambda c: c.name):
+        if not isinstance(cell, Multiplier):
+            continue
+        const_port = _constant_operand(cell)
+        if const_port is None:
+            continue
+        var_port = "A" if const_port == "B" else "B"
+        const_net = cell.net(const_port)
+        const_cell = const_net.driver.cell
+        out_net = cell.net("Y")
+        width = out_net.width
+        # Bits of K at or above the output width shift every bit of A
+        # past the truncation boundary; they cannot affect Y mod 2^w.
+        k = const_net.clip(const_cell.value) & out_net.mask
+        bits = [s for s in range(width) if (k >> s) & 1]
+        if len(bits) > MAX_SHIFT_TERMS:
+            continue
+        var_net = cell.net(var_port)
+
+        def build(
+            graft: GraftBuilder,
+            sources: Sequence[Net],
+            bits: List[int] = bits,
+            width: int = width,
+        ) -> Net:
+            (a,) = sources
+            if not bits:
+                return graft.const(0, width)
+            terms = []
+            for s in bits:
+                if s == 0 and a.width == width:
+                    terms.append(a)
+                else:
+                    terms.append(graft.shift(a, s, width))
+            return graft.balanced_tree("add", terms, width)
+
+        plans.append(
+            RewritePlan(
+                rule="strength_reduction",
+                target=cell.name,
+                removed=[cell],
+                sources=[var_net],
+                out_net=out_net,
+                build=build,
+                detail={"coefficient": k, "shift_terms": bits},
+            )
+        )
+    return plans
+
+
+# ----------------------------------------------------------------------
+# Family 2: reassociation / balancing of add/mul chains
+# ----------------------------------------------------------------------
+def _collect_chain(root: ArithModule, width: int):
+    """Leaves and cells of the maximal same-kind chain under ``root``.
+
+    A chain extends through an operand net when it is driven by another
+    cell of the same kind, has exactly one reader (the intermediate
+    value is unobservable elsewhere), and the driver computes at the
+    chain width — every operand and output net at ``width`` is the
+    condition under which any reassociation is exact mod 2^w. Anything
+    else (different kind, shared fanout, width change) is a leaf.
+    Returns ``(leaves, cells)`` or None for degenerate chains (< 3
+    leaves).
+    """
+    kind = root.kind
+    if root.net("A").width != width or root.net("B").width != width:
+        return None
+    leaves: List[Net] = []
+    cells: List[Cell] = []
+
+    def extends(net: Net) -> bool:
+        driver = net.driver
+        return (
+            driver is not None
+            and isinstance(driver.cell, ArithModule)
+            and driver.cell.kind == kind
+            and len(net.readers) == 1
+            and driver.cell.net("A").width == width
+            and driver.cell.net("B").width == width
+        )
+
+    def walk(cell: ArithModule) -> None:
+        cells.append(cell)
+        for port in ("A", "B"):
+            net = cell.net(port)
+            if extends(net):
+                walk(net.driver.cell)
+            else:
+                leaves.append(net)
+
+    walk(root)
+    if len(leaves) < 3:
+        return None
+    return leaves, cells
+
+
+def _balanced_shape(n: int) -> object:
+    """Default tree over leaf indices 0..n-1 (adjacent pairs first)."""
+    level: List[object] = list(range(n))
+    while len(level) > 1:
+        paired: List[object] = []
+        for i in range(0, len(level) - 1, 2):
+            paired.append([level[i], level[i + 1]])
+        if len(level) % 2:
+            paired.append(level[-1])
+        level = paired
+    return level[0]
+
+
+def _huffman_shape(rates: List[float]) -> object:
+    """Tree over leaf indices combining the two quietest terms first.
+
+    Classic Huffman over toggle rates: minimising ``Σ rate·depth`` is
+    minimising the total pin-charge the operand stream pays on its way
+    through the tree — the noisiest operands enter last.
+    """
+    import heapq
+
+    heap = [(rate, i, i) for i, rate in enumerate(rates)]
+    heapq.heapify(heap)
+    counter = len(rates)
+    nodes: Dict[int, object] = {i: i for i in range(len(rates))}
+    while len(heap) > 1:
+        r1, _, n1 = heapq.heappop(heap)
+        r2, _, n2 = heapq.heappop(heap)
+        nodes[counter] = [nodes[n1], nodes[n2]]
+        heapq.heappush(heap, (r1 + r2, counter, counter))
+        counter += 1
+    return nodes[heap[0][2]]
+
+
+def find_reassociation(design: Design) -> List[RewritePlan]:
+    """Re-shape single-reader add/mul chains by measured operand activity."""
+    plans: List[RewritePlan] = []
+    in_chain: set = set()
+    for cell in sorted(design.cells, key=lambda c: c.name):
+        if not isinstance(cell, ArithModule) or cell.kind not in _ASSOCIATIVE_KINDS:
+            continue
+        if cell.name in in_chain:
+            continue  # interior of a larger chain already claimed
+        out_net = cell.net("Y")
+        # Only chain *roots*: a same-kind single-reader parent would
+        # extend the chain upward, so this cell is interior, not a root.
+        if (
+            len(out_net.readers) == 1
+            and isinstance(out_net.readers[0].cell, ArithModule)
+            and out_net.readers[0].cell.kind == cell.kind
+            and out_net.readers[0].cell.net("Y").width == out_net.width
+        ):
+            continue
+        width = out_net.width
+        chain = _collect_chain(cell, width)
+        if chain is None:
+            continue
+        leaves, removed = chain
+        in_chain.update(c.name for c in removed)
+        kind = cell.kind
+
+        def build(
+            graft: GraftBuilder,
+            sources: Sequence[Net],
+            plan_detail: dict = None,
+            kind: str = kind,
+            width: int = width,
+        ) -> Net:
+            def emit(node: object) -> Net:
+                if isinstance(node, int):
+                    return sources[node]
+                left, right = node
+                return graft.binop(kind, emit(left), emit(right), width)
+
+            return emit(plan_detail["tree"])
+
+        def prepare(plan: RewritePlan, monitor: object) -> None:
+            rates = [monitor.toggle_rate(net) for net in plan.sources]
+            plan.detail["tree"] = _huffman_shape(rates)
+
+        detail = {
+            "kind": kind,
+            "leaves": [net.name for net in leaves],
+            "tree": _balanced_shape(len(leaves)),
+        }
+        plans.append(
+            RewritePlan(
+                rule="reassociation",
+                target=cell.name,
+                removed=removed,
+                sources=list(leaves),
+                out_net=out_net,
+                build=lambda g, s, d=detail, b=build: b(g, s, plan_detail=d),
+                detail=detail,
+                prepare=prepare,
+            )
+        )
+    return plans
+
+
+# ----------------------------------------------------------------------
+# Family 3: mux-pushing through arithmetic
+# ----------------------------------------------------------------------
+def find_mux_hoist(
+    design: Design, skip_cells: Optional[set] = None
+) -> List[RewritePlan]:
+    """``mux(s, op(x, y0), op(x, y1), ...) -> op(x, mux(s, y0, y1, ...))``.
+
+    All arms must be distinct same-kind two-operand modules, each read
+    only by the mux, sharing one operand net ``x`` — on the *same* port
+    for the non-commutative subtractor, on either port for add/mul. One
+    operator replaces N; the mux moves to the (often narrower-activity)
+    free operands.
+    """
+    skip_cells = skip_cells or set()
+    plans: List[RewritePlan] = []
+    for mux in sorted(design.cells, key=lambda c: c.name):
+        if not isinstance(mux, Mux):
+            continue
+        arms = []
+        for port in mux.data_ports():
+            driver = mux.net(port).driver
+            if (
+                driver is None
+                or driver.cell.kind not in _MUXABLE_KINDS
+                or not isinstance(driver.cell, ArithModule)
+                or len(driver.cell.net("Y").readers) != 1
+            ):
+                arms = None
+                break
+            arms.append(driver.cell)
+        if not arms:
+            continue
+        kinds = {arm.kind for arm in arms}
+        if len(kinds) != 1 or len({arm.name for arm in arms}) != len(arms):
+            continue
+        if any(arm.name in skip_cells for arm in arms):
+            continue
+        kind = arms[0].kind
+
+        # Find the shared operand and the per-arm free operands.
+        shared: Optional[Net] = None
+        shared_port: Optional[str] = None
+        if kind == "sub":
+            for port in ("A", "B"):
+                net = arms[0].net(port)
+                if all(arm.net(port) is net for arm in arms):
+                    shared, shared_port = net, port
+                    break
+        else:
+            for net in (arms[0].net("A"), arms[0].net("B")):
+                if all(arm.net("A") is net or arm.net("B") is net for arm in arms):
+                    shared = net
+                    break
+        if shared is None:
+            continue
+        free: List[Net] = []
+        for arm in arms:
+            if kind == "sub":
+                free.append(arm.net("B" if shared_port == "A" else "A"))
+            else:
+                free.append(arm.net("B") if arm.net("A") is shared else arm.net("A"))
+        if len({net.width for net in free} | {shared.width}) != 1:
+            continue
+
+        sel = mux.net("S")
+        out_net = mux.net("Y")
+        width = out_net.width
+        operand_width = shared.width
+
+        def build(
+            graft: GraftBuilder,
+            sources: Sequence[Net],
+            kind: str = kind,
+            shared_port: Optional[str] = shared_port,
+            width: int = width,
+            operand_width: int = operand_width,
+        ) -> Net:
+            x, sel = sources[0], sources[1]
+            ym = graft.mux(sel, sources[2:], operand_width)
+            if kind == "sub" and shared_port == "B":
+                return graft.binop(kind, ym, x, width)
+            return graft.binop(kind, x, ym, width)
+
+        plans.append(
+            RewritePlan(
+                rule="mux_hoist",
+                target=mux.name,
+                removed=list(arms) + [mux],
+                sources=[shared, sel] + free,
+                out_net=out_net,
+                build=build,
+                detail={
+                    "kind": kind,
+                    "arms": [arm.name for arm in arms],
+                    "shared": shared.name,
+                },
+            )
+        )
+    return plans
+
+
+def find_mux_push(
+    design: Design, skip_cells: Optional[set] = None
+) -> List[RewritePlan]:
+    """``op(mux(s, d0, d1), c) -> mux(s, op(d0, c), op(d1, c))``.
+
+    Profitable when the mux output is much noisier than either arm
+    (select churn multiplies toggles into the operator); the duplicated
+    operators each see only their own arm's activity, and the structure
+    exposes per-arm isolation candidates downstream.
+    """
+    skip_cells = skip_cells or set()
+    plans: List[RewritePlan] = []
+    for cell in sorted(design.cells, key=lambda c: c.name):
+        if (
+            not isinstance(cell, ArithModule)
+            or cell.kind not in _MUXABLE_KINDS
+            or cell.name in skip_cells
+        ):
+            continue
+        for port in ("A", "B"):
+            net = cell.net(port)
+            driver = net.driver
+            if (
+                driver is None
+                or not isinstance(driver.cell, Mux)
+                or driver.cell.n_inputs != 2
+                or len(net.readers) != 1
+            ):
+                continue
+            mux = driver.cell
+            d0, d1, sel = mux.net("D0"), mux.net("D1"), mux.net("S")
+            other = cell.net("B" if port == "A" else "A")
+            out_net = cell.net("Y")
+            width = out_net.width
+            kind = cell.kind
+
+            def build(
+                graft: GraftBuilder,
+                sources: Sequence[Net],
+                kind: str = kind,
+                port: str = port,
+                width: int = width,
+            ) -> Net:
+                d0, d1, sel, other = sources
+                if port == "A":
+                    t0 = graft.binop(kind, d0, other, width)
+                    t1 = graft.binop(kind, d1, other, width)
+                else:
+                    t0 = graft.binop(kind, other, d0, width)
+                    t1 = graft.binop(kind, other, d1, width)
+                return graft.mux(sel, [t0, t1], width)
+
+            plans.append(
+                RewritePlan(
+                    rule="mux_push",
+                    target=cell.name,
+                    removed=[cell, mux],
+                    sources=[d0, d1, sel, other],
+                    out_net=out_net,
+                    build=build,
+                    detail={"kind": kind, "mux": mux.name, "port": port},
+                )
+            )
+            break  # one push per operator; re-enumerated next iteration
+    return plans
+
+
+# ----------------------------------------------------------------------
+def find_rewrites(
+    design: Design, created_by: Optional[Mapping[str, str]] = None
+) -> List[RewritePlan]:
+    """All candidate rewrites of ``design``, across the three families.
+
+    ``created_by`` maps cell names to the rule that grafted them earlier
+    in the same run; it keeps the two mux directions from unwinding each
+    other's work (hoist never consumes push products and vice versa).
+    """
+    created_by = created_by or {}
+    hoist_skip = {n for n, rule in created_by.items() if rule == "mux_push"}
+    push_skip = {n for n, rule in created_by.items() if rule == "mux_hoist"}
+    plans = find_strength_reduction(design)
+    plans += find_reassociation(design)
+    plans += find_mux_hoist(design, skip_cells=hoist_skip)
+    plans += find_mux_push(design, skip_cells=push_skip)
+    return plans

@@ -380,7 +380,14 @@ class BatchSimulator:
         batch_size: int = 32,
         engine: str = "python",
         lane_width: Optional[int] = None,
+        stacklevel: int = 2,
     ) -> None:
+        # ``stacklevel`` controls where the bitslice->compiled degradation
+        # RuntimeWarning is attributed. The default 2 names whoever
+        # constructed the simulator; wrappers that build one on a caller's
+        # behalf (e.g. :func:`repro.parallel.run_shard`) pass 3 so the
+        # warning lands on *their* caller's file, not a line inside
+        # ``repro`` — same convention as ``resolve_run_config``.
         # The lockstep "checked" mode exists only for the scalar engines;
         # reject it here rather than silently running unchecked.
         if engine not in ("python", "compiled", "bitslice"):
@@ -416,7 +423,7 @@ class BatchSimulator:
                     f"{design.name!r} ({exc}); falling back to the compiled "
                     f"engine",
                     RuntimeWarning,
-                    stacklevel=2,
+                    stacklevel=stacklevel,
                 )
                 self.fallback_reason = str(exc)
                 engine = "compiled"

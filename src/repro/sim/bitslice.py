@@ -413,9 +413,14 @@ def _make_divider(
             rem = [a[i]] + rem
             if len(rem) > bw + 1:
                 rem = rem[: bw + 1]  # provably-zero planes above 2B-1
-            # rem >= B ? (no final borrow in rem - B)
+            # rem >= B ? (no final borrow in rem - B). The borrow chain
+            # must span every plane of B, not just the planes rem has
+            # accumulated so far: early steps hold a short remainder,
+            # and comparing against a truncated B reads "rem >= B" true
+            # whenever B's high bits are set (e.g. 1 >= 13 via 13 & 1).
             bor = 0
-            for k, rk in enumerate(rem):
+            for k in range(max(len(rem), bw)):
+                rk = rem[k] if k < len(rem) else 0
                 bk = b[k] if k < bw else 0
                 bor = ((lm ^ rk) & bk) | ((lm ^ (rk ^ bk)) & bor)
             ge = lm ^ bor

@@ -1,0 +1,57 @@
+"""Attribution of the bitslice->compiled batch degradation warning.
+
+When ``BatchSimulator(engine="bitslice")`` cannot lower a design, it
+degrades to the compiled engine with a ``RuntimeWarning``. That warning
+must name the *user's* call site, not a line inside ``repro`` — the same
+convention ``resolve_run_config`` follows for its deprecation warnings
+(see ``tests/test_runconfig.py``). These tests pin ``filename`` on the
+warning record for both the direct constructor path (``stacklevel=2``)
+and the ``run_shard`` wrapper path (``stacklevel=3``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.sim.bitslice as bitslice_mod
+from repro.errors import CompilationError
+from repro.designs import design1
+from repro.parallel.shard import ShardSpec, run_shard
+from repro.sim.batch import BatchSimulator
+
+
+class _AlwaysFails:
+    """Stand-in kernel whose construction always fails to lower."""
+
+    def __init__(self, design, *args, **kwargs):
+        raise CompilationError("synthetic lowering failure", unit="settle_0")
+
+
+@pytest.fixture
+def broken_bitslice(monkeypatch):
+    monkeypatch.setattr(bitslice_mod, "BitsliceBatchKernel", _AlwaysFails)
+
+
+def test_direct_constructor_warning_names_this_file(broken_bitslice):
+    with pytest.warns(RuntimeWarning, match="falling back") as record:
+        sim = BatchSimulator(design1(), batch_size=4, engine="bitslice")
+    assert sim.engine == "compiled"
+    assert sim.fallback_reason is not None
+    assert "synthetic lowering failure" in sim.fallback_reason
+    assert len(record) == 1
+    assert record[0].filename == __file__
+
+
+def test_run_shard_warning_names_this_file(broken_bitslice):
+    """run_shard builds the simulator on the caller's behalf; the warning
+    must skip the wrapper frame and land here."""
+    with pytest.warns(RuntimeWarning, match="falling back") as record:
+        stats = run_shard(
+            design1(),
+            ShardSpec(index=0, lanes=4, seed=7),
+            cycles=10,
+            engine="bitslice",
+        )
+    assert stats.cycles == 10
+    assert len(record) == 1
+    assert record[0].filename == __file__
