@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of design-space sweeps, exactly as CI runs it.
+
+Boots a real ``repro serve`` subprocess on an ephemeral port, then runs
+a tiny 2-design x 2-profile x 2-pass-list sweep (8 points) through it
+with the real ``repro sweep`` CLI, asserting the acceptance criteria of
+the sweep subsystem:
+
+1. a first, ``--limit``-truncated run computes only part of the grid
+   and persists every computed point in the experiment store;
+2. re-invoking the identical command *resumes*: the persisted points
+   are skipped (never recomputed), only the missing cells run, and the
+   sweep converges to a complete grid;
+3. every computed point travelled through the live server (its job
+   counter matches), not some in-process shortcut;
+4. the Pareto report artifacts (text + JSON) are written for upload.
+
+Run from the repo root: ``PYTHONPATH=src python scripts/sweep_smoke.py``
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import urllib.request
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+ENV = dict(os.environ, PYTHONPATH=os.path.join(REPO, "src"))
+
+GRID = [
+    "--design", "fig1", "--design", "design1",
+    "--stimuli", "idle,bursty",
+    "--pass-lists", "isolation,rewrite+isolation",
+    "--cycles", "300", "--engine", "compiled",
+    "--name", "ci-smoke",
+]
+TOTAL = 8
+LIMIT = 3
+
+
+def run_sweep(url: str, store: str, extra=()) -> dict:
+    out = subprocess.run(
+        [sys.executable, "-m", "repro", "sweep", *GRID,
+         "--store", store, "--url", url, "--json", *extra],
+        env=ENV, cwd=REPO, capture_output=True, text=True, timeout=600,
+        check=True,
+    )
+    return json.loads(out.stdout)
+
+
+def main() -> int:
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--job-workers", "2", "--json"],
+        env=ENV, cwd=REPO, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        text=True,
+    )
+    store = tempfile.mkdtemp(prefix="repro-sweep-smoke-")
+    try:
+        ready = server.stderr.readline()
+        assert "serving on http://" in ready, f"no readiness line: {ready!r}"
+        url = ready.split()[2]
+        print(f"server ready at {url}")
+
+        partial = run_sweep(url, store, extra=["--limit", str(LIMIT)])
+        assert partial["computed"] == LIMIT, partial
+        assert partial["skipped"] == 0 and not partial["complete"], partial
+        print(f"partial run: {LIMIT}/{TOTAL} points computed through the "
+              f"server, then stopped (--limit)")
+
+        resumed = run_sweep(
+            url, store,
+            extra=["--report", "sweep-report.txt",
+                   "--report-json", "sweep-report.json"],
+        )
+        assert resumed["skipped"] == LIMIT, resumed
+        assert resumed["computed"] == TOTAL - LIMIT, resumed
+        assert resumed["complete"] and resumed["failed"] == 0, resumed
+        print(f"resumed run: {resumed['skipped']} point(s) answered by the "
+              f"store, {resumed['computed']} computed, grid complete")
+
+        # Every *computed* point was a real server job; skipped points
+        # never reached the wire.
+        with urllib.request.urlopen(url + "/healthz", timeout=10) as resp:
+            health = json.loads(resp.read())
+        assert health["jobs"]["done"] == TOTAL, health
+        print(f"server handled exactly {TOTAL} jobs — resume skipped the "
+              f"rest before the wire")
+
+        report = resumed["report"]
+        assert report["points"] == TOTAL, report
+        groups = {tuple(g["group"].values()) for g in report["groups"]}
+        assert len(groups) == 4, groups  # 2 designs x 2 profiles
+        for path in ("sweep-report.txt", "sweep-report.json"):
+            full = os.path.join(REPO, path)
+            assert os.path.exists(full) and os.path.getsize(full) > 0, path
+        print("Pareto report artifacts written: sweep-report.txt, "
+              "sweep-report.json")
+
+        server.send_signal(signal.SIGINT)
+        out, _ = server.communicate(timeout=120)
+        summary = json.loads(out)
+        assert summary["jobs"]["done"] == TOTAL, summary
+        print("server drained cleanly; sweep smoke passed")
+        return 0
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait(timeout=30)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -297,6 +297,48 @@ class Session:
         with self._recording(None):
             return derive_activation_functions(self.design)
 
+    def sweep(
+        self,
+        spec: Optional[dict] = None,
+        store=None,
+        client=None,
+        service=None,
+        limit: Optional[int] = None,
+        progress=None,
+    ):
+        """Design-space exploration anchored on this session's design.
+
+        ``spec`` is a :class:`repro.sweep.SweepSpec` or its dict form;
+        when the dict omits ``designs`` the session's design is the
+        (single) designs axis, and when it omits ``run`` the session's
+        :class:`RunConfig` applies to every point. The remaining
+        arguments pass straight to :func:`repro.sweep.run_sweep` —
+        ``store`` (an :class:`~repro.sweep.ExperimentStore` or
+        directory path) makes the sweep resumable, ``client`` /
+        ``service`` dispatch points through the serve layer instead of
+        computing inline. Returns the
+        :class:`~repro.sweep.SweepResult`. See ``docs/sweeps.md``.
+        """
+        from repro.sweep import SweepSpec, run_sweep
+
+        if spec is None:
+            spec = {}
+        if isinstance(spec, dict):
+            payload = dict(spec)
+            if "designs" not in payload:
+                payload["designs"] = [{"text": textio.dumps(self.design)}]
+            if "run" not in payload:
+                payload["run"] = self.run.to_dict()
+            spec = SweepSpec.from_dict(payload)
+        return run_sweep(
+            spec,
+            store=store,
+            client=client,
+            service=service,
+            limit=limit,
+            progress=progress,
+        )
+
     def fingerprint(self) -> str:
         """Content-addressed fingerprint of the session's design.
 

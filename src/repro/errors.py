@@ -163,6 +163,12 @@ class StateStoreError(ServeError):
         super().__init__(message, status=500)
 
 
+class SweepError(ReproError):
+    """A design-space sweep could not be expanded, run or resumed
+    (:mod:`repro.sweep`): malformed spec, unknown design/profile/pass,
+    or an unusable experiment store."""
+
+
 class FaultInjectionError(ReproError):
     """A fault could not be injected at the requested site.
 

@@ -38,18 +38,35 @@ def canonical_json(payload: object) -> str:
 
 
 def job_cache_key(
-    method: str, design_fingerprint: str, run_fingerprint: str, params: dict
+    method: str,
+    design_fingerprint: str,
+    run_fingerprint: str,
+    params: dict,
+    stimulus_fingerprint: str = "default",
 ) -> str:
-    """The content address of one job's result."""
-    canonical = canonical_json(
-        {
-            "method": method,
-            "design": design_fingerprint,
-            "run": run_fingerprint,
-            "params": params,
-        }
-    )
-    return hashlib.sha256(canonical.encode()).hexdigest()
+    """The content address of one job's result.
+
+    ``stimulus_fingerprint`` separates jobs that drive the same design
+    with different activity (a workload profile, a recorded CSV/VCD
+    trace — see :func:`repro.sim.stimulus.stimulus_fingerprint`).
+    `RunConfig.fingerprint` covers only the seed, so without this
+    component two jobs replaying different traces on one design would
+    collide in the cache and the second would be answered with the
+    first's numbers. The literal ``"default"`` reproduces the exact
+    pre-stimulus-spec keys, so persisted caches stay warm across the
+    upgrade.
+    """
+    body = {
+        "method": method,
+        "design": design_fingerprint,
+        "run": run_fingerprint,
+        "params": params,
+    }
+    if stimulus_fingerprint != "default":
+        # Omitted (not merely defaulted) for the default stimulus, so
+        # every key minted before stimulus specs existed is unchanged.
+        body["stimulus"] = stimulus_fingerprint
+    return hashlib.sha256(canonical_json(body).encode()).hexdigest()
 
 
 class ResultCache:

@@ -87,8 +87,15 @@ class ServeClient:
         params: Optional[dict] = None,
         timeout_s: Optional[float] = None,
         max_attempts: Optional[int] = None,
+        stimulus: Optional[dict] = None,
     ) -> dict:
-        """Submit a job; returns the job record (maybe already ``done``)."""
+        """Submit a job; returns the job record (maybe already ``done``).
+
+        ``stimulus`` is a stimulus spec (profile name/dict or recorded
+        CSV/VCD trace — see
+        :func:`repro.sim.stimulus.normalize_stimulus_spec`); it is part
+        of the job's cache identity server-side.
+        """
         body = {"method": method}
         if design is not None:
             body["design"] = design
@@ -102,6 +109,8 @@ class ServeClient:
             body["timeout_s"] = timeout_s
         if max_attempts is not None:
             body["max_attempts"] = max_attempts
+        if stimulus is not None:
+            body["stimulus"] = stimulus
         return self._request("POST", "/v1/jobs", body)
 
     def job(self, job_id: str) -> dict:

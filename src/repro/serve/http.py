@@ -181,6 +181,7 @@ class ServeHandler(BaseHTTPRequestHandler):
                     params=body.get("params"),
                     timeout_s=body.get("timeout_s"),
                     max_attempts=body.get("max_attempts"),
+                    stimulus=body.get("stimulus"),
                 )
                 self._send_json(202, job.to_dict())
                 return 202

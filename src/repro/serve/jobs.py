@@ -78,6 +78,11 @@ from repro.netlist import textio
 from repro.netlist.design import Design
 from repro.runconfig import RunConfig
 from repro.sim.compile import design_fingerprint
+from repro.sim.stimulus import (
+    normalize_stimulus_spec,
+    resolve_stimulus_spec,
+    stimulus_fingerprint,
+)
 
 from .cache import ResultCache, job_cache_key
 from .durable import DiskResultCache, DurableStore, RecoveryReport, payload_digest
@@ -136,6 +141,25 @@ def _result_optimize(session: Session, params: dict) -> dict:
     kwargs = {}
     if params.get("passes") is not None:
         kwargs["passes"] = list(params["passes"])
+    if any(params.get(key) is not None for key in ("h_min", "omega_p", "omega_a")):
+        # Cost-weight overrides (the sweep grid's ω/h_min axis). They
+        # ride in params, so they are cache-key ingredients for free.
+        from repro.core.algorithm import IsolationConfig
+        from repro.core.cost import CostWeights
+
+        run_cfg = session.run
+        kwargs["config"] = IsolationConfig(
+            style=params.get("style") or "and",
+            weights=CostWeights(
+                omega_p=float(params.get("omega_p", 1.0)),
+                omega_a=float(params.get("omega_a", 0.25)),
+                h_min=float(params.get("h_min", 0.0)),
+            ),
+            cycles=run_cfg.cycles,
+            warmup=run_cfg.warmup,
+            engine=run_cfg.engine,
+            workers=run_cfg.workers,
+        )
     result = session.optimize(style=params.get("style"), **kwargs)
     payload = result.to_dict()
     payload.pop("timings", None)
@@ -188,7 +212,10 @@ METHODS: Dict[str, Tuple[frozenset, Callable[[Session, dict], dict]]] = {
     "isolate": (frozenset({"style"}), _result_isolate),
     # The ordered pass list is a cache-key ingredient: job_cache_key
     # canonicalises params with lists preserved in order.
-    "optimize": (frozenset({"style", "passes"}), _result_optimize),
+    "optimize": (
+        frozenset({"style", "passes", "h_min", "omega_p", "omega_a"}),
+        _result_optimize,
+    ),
     "rank": (
         frozenset({"style", "clock_period", "lookahead_depth"}),
         _result_rank,
@@ -232,6 +259,14 @@ def _validate_params(method: str, params: dict) -> dict:
                 )
         if len(set(passes)) != len(passes):
             raise ServeError("duplicate pass names in passes")
+    for key in ("h_min", "omega_p", "omega_a"):
+        value = params.get(key)
+        if value is None:
+            continue
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ServeError(f"{key} must be a number, got {value!r}")
+        if value < 0:
+            raise ServeError(f"{key} must be >= 0, got {value}")
     return params
 
 
@@ -318,6 +353,10 @@ class Job:
     #: Canonical textual netlist — the wire/journal form every attempt
     #: (inline, worker process, post-crash replay) is rebuilt from.
     design_text: str = ""
+    #: Normalized stimulus spec (profile / recorded trace); ``None`` is
+    #: the legacy default random stimulus. Its fingerprint is folded
+    #: into ``cache_key``.
+    stimulus: Optional[dict] = None
     state: str = QUEUED
     cached: bool = False
     result: Optional[dict] = None
@@ -349,12 +388,18 @@ class Job:
 
     def wire_payload(self) -> dict:
         """What crosses the fork/journal boundary to run this job."""
-        return {
+        payload = {
             "method": self.method,
             "design_text": self.design_text,
             "run": self.run.to_dict(),
             "params": self.params,
         }
+        # Omitted (not null) for the default, keeping legacy payloads
+        # byte-identical — journal replay and inline/worker dedupe rely
+        # on that stability.
+        if self.stimulus is not None:
+            payload["stimulus"] = self.stimulus
+        return payload
 
     def to_dict(self, include_result: bool = True) -> dict:
         """Wire representation (summary with ``include_result=False``)."""
@@ -543,6 +588,7 @@ class JobService:
                 params=dict(state.get("params") or {}),
                 cache_key=state.get("cache_key", ""),
                 design_text=state.get("design_text", ""),
+                stimulus=state.get("stimulus"),
                 submitted_at=state.get("submitted_at", state.get("t", 0.0)),
                 timeout_s=state.get("timeout_s"),
                 max_attempts=int(state.get("max_attempts", self.max_attempts)),
@@ -642,6 +688,7 @@ class JobService:
         params: Optional[dict] = None,
         timeout_s: Optional[float] = None,
         max_attempts: Optional[int] = None,
+        stimulus: Optional[dict] = None,
     ) -> Job:
         """Validate, content-address and enqueue (or cache-answer) a job.
 
@@ -652,6 +699,11 @@ class JobService:
         ``timeout_s`` / ``max_attempts`` override the service defaults
         for this job only — neither is a cache-key ingredient (a
         deadline changes whether a result exists, never its bytes).
+        ``stimulus`` is an optional stimulus spec (see
+        :func:`repro.sim.stimulus.normalize_stimulus_spec`): a workload
+        profile name/dict or a recorded CSV/VCD trace. Its fingerprint
+        *is* a cache-key ingredient — two jobs replaying different
+        activity on the same design must never share a result.
 
         With a durable store attached, the successful return of this
         method *is* the acknowledgement: the job's ``submit`` record has
@@ -675,6 +727,7 @@ class JobService:
         design_obj = (
             textio.loads(design) if design is not None else _builtin_design(builtin)
         )
+        stimulus_spec = normalize_stimulus_spec(stimulus)  # raises StimulusError
         run_cfg = self.default_run
         if run:
             RunConfig.from_dict(run)  # rejects unknown fields loudly
@@ -682,7 +735,11 @@ class JobService:
         run_cfg = run_cfg.replace(trace=False)  # job tracing is service-managed
         fingerprint = design_fingerprint(design_obj)
         cache_key = job_cache_key(
-            method, fingerprint, run_cfg.fingerprint(), params
+            method,
+            fingerprint,
+            run_cfg.fingerprint(),
+            params,
+            stimulus_fingerprint(stimulus_spec),
         )
         job = Job(
             id=f"j{next(self._ids):06d}",
@@ -694,6 +751,7 @@ class JobService:
             params=params,
             cache_key=cache_key,
             design_text=textio.dumps(design_obj),
+            stimulus=stimulus_spec,
             timeout_s=timeout_s if timeout_s is not None else self.job_timeout_s,
             max_attempts=(
                 int(max_attempts) if max_attempts is not None else self.max_attempts
@@ -711,6 +769,7 @@ class JobService:
             design_text=job.design_text,
             run=job.run.to_dict(),
             params=job.params,
+            stimulus=job.stimulus,
             cache_key=job.cache_key,
             fingerprint=job.fingerprint,
             timeout_s=job.timeout_s,
@@ -854,7 +913,12 @@ class JobService:
             design = textio.loads(job.design_text)
             job.design = design
         _, builder = METHODS[job.method]
-        session = Session(design, run=job.run)
+        stimulus = None
+        if job.stimulus is not None:
+            stimulus = resolve_stimulus_spec(
+                job.stimulus, design, seed=job.run.seed
+            )
+        session = Session(design, stimulus=stimulus, run=job.run)
         return builder(session, job.params)
 
     def _execute(self, job: Job) -> None:

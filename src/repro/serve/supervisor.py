@@ -69,16 +69,7 @@ def _child_main(conn, payload: dict) -> None:
     and the parent classifies that as a crash.
     """
     try:
-        from repro.api import Session
-        from repro.netlist import textio
-        from repro.runconfig import RunConfig
-        from repro.serve.jobs import METHODS
-
-        design = textio.loads(payload["design_text"])
-        run = RunConfig.from_dict(payload["run"])
-        _, builder = METHODS[payload["method"]]
-        session = Session(design, run=run)
-        result = builder(session, dict(payload.get("params") or {}))
+        result = run_job_payload(payload)
         conn.send(("ok", result))
     except BaseException as exc:  # noqa: BLE001 - must cross the pipe
         try:
@@ -103,11 +94,15 @@ def run_job_payload(payload: dict) -> dict:
     from repro.netlist import textio
     from repro.runconfig import RunConfig
     from repro.serve.jobs import METHODS
+    from repro.sim.stimulus import resolve_stimulus_spec
 
     design = textio.loads(payload["design_text"])
     run = RunConfig.from_dict(payload["run"])
     _, builder = METHODS[payload["method"]]
-    session = Session(design, run=run)
+    stimulus = None
+    if payload.get("stimulus") is not None:
+        stimulus = resolve_stimulus_spec(payload["stimulus"], design, seed=run.seed)
+    session = Session(design, stimulus=stimulus, run=run)
     return builder(session, dict(payload.get("params") or {}))
 
 

@@ -34,13 +34,23 @@ from repro.sim.bitslice import (
     unpack_lanes,
 )
 from repro.sim.stimulus import (
+    BurstyDataStream,
     CompositeStimulus,
     ControlStream,
+    CorrelatedDataStream,
     DataStream,
+    STIMULUS_PROFILES,
     SequenceStimulus,
     Stimulus,
+    make_profile,
+    normalize_stimulus_spec,
+    profile_names,
     random_stimulus,
+    register_profile,
+    resolve_stimulus_spec,
+    stimulus_fingerprint,
 )
+from repro.sim.vcd import VcdMonitor, VcdStimulus, VcdTrace, load_vcd, read_vcd
 from repro.sim.monitor import ConditionalToggleMonitor, Monitor, ToggleMonitor
 from repro.sim.probes import ExpressionProbe, ProbeSet
 from repro.sim.trace import NetTrace
@@ -79,9 +89,23 @@ __all__ = [
     "Stimulus",
     "ControlStream",
     "DataStream",
+    "BurstyDataStream",
+    "CorrelatedDataStream",
     "SequenceStimulus",
     "CompositeStimulus",
     "random_stimulus",
+    "STIMULUS_PROFILES",
+    "register_profile",
+    "profile_names",
+    "make_profile",
+    "normalize_stimulus_spec",
+    "resolve_stimulus_spec",
+    "stimulus_fingerprint",
+    "VcdMonitor",
+    "VcdTrace",
+    "VcdStimulus",
+    "read_vcd",
+    "load_vcd",
     "Monitor",
     "ToggleMonitor",
     "ConditionalToggleMonitor",

@@ -1,0 +1,51 @@
+"""repro.sweep — design-space exploration over the serve substrate.
+
+The sweep subsystem answers the question the paper's single-design
+experiments raise: *across* designs, workloads and optimisation
+configurations, where is operand isolation actually worth it? It is
+three small layers:
+
+- :mod:`repro.sweep.spec` — :class:`SweepSpec`, the declarative grid
+  (designs × stimulus profiles × pass lists × style/cost axes), expanded
+  into content-addressed :class:`SweepPoint` s whose keys are serve job
+  cache keys;
+- :mod:`repro.sweep.store` — :class:`ExperimentStore`, a durable
+  verified-blob store that makes sweeps resumable and results shareable
+  across runs and machines;
+- :mod:`repro.sweep.engine` / :mod:`repro.sweep.pareto` —
+  :func:`run_sweep` dispatch (inline, in-process service, or a live
+  ``repro serve`` endpoint) and three-objective Pareto reporting
+  (power ↓, area ↓, slack ↑).
+
+Entry points: :meth:`repro.api.Session.sweep`, the ``repro sweep`` CLI
+subcommand, and :func:`run_sweep` directly. See ``docs/sweeps.md``.
+"""
+
+from .engine import PointOutcome, SweepResult, run_sweep
+from .pareto import (
+    dominates,
+    format_report,
+    group_rows,
+    pareto_front,
+    point_metrics,
+    report_payload,
+)
+from .spec import SWEEP_METHOD, SweepPoint, SweepSpec, stimulus_label
+from .store import ExperimentStore
+
+__all__ = [
+    "SWEEP_METHOD",
+    "SweepSpec",
+    "SweepPoint",
+    "stimulus_label",
+    "ExperimentStore",
+    "run_sweep",
+    "SweepResult",
+    "PointOutcome",
+    "point_metrics",
+    "dominates",
+    "pareto_front",
+    "group_rows",
+    "format_report",
+    "report_payload",
+]

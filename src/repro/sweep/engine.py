@@ -1,0 +1,286 @@
+"""The sweep engine: expand, dispatch, persist, resume, report.
+
+:func:`run_sweep` walks a :class:`~repro.sweep.spec.SweepSpec`'s points
+in deterministic grid order and, for each one:
+
+1. **resume check** — if the :class:`~repro.sweep.store.ExperimentStore`
+   already holds the point's key (this run, a previous crash, an
+   overlapping earlier sweep), the persisted payload is used and the
+   point is counted ``skipped`` — no recomputation, the acceptance
+   contract of ``repro sweep``;
+2. **dispatch** — otherwise the point's wire payload runs either inline
+   (:func:`repro.serve.supervisor.run_job_payload` — byte-identical to
+   what a serve worker would execute), against an in-process
+   :class:`~repro.serve.jobs.JobService`, or across the network through
+   a :class:`~repro.serve.client.ServeClient` (heavy-traffic mode; the
+   service's own result cache composes with the store);
+3. **persist** — successful payloads are written to the store before the
+   next point starts, so a kill at any instant loses at most the
+   in-flight point. Failed points are *not* persisted — a resume retries
+   them.
+
+Progress is observable: ``sweep.run`` / ``sweep.point`` spans and
+``sweep.points.{computed,skipped,failed}`` counters flow into whatever
+:mod:`repro.obs` recorder is active, and an optional ``progress``
+callback receives every point outcome as it lands.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro import obs
+from repro.errors import ReproError, SweepError
+from repro.serve.supervisor import run_job_payload
+
+from .pareto import format_report, point_metrics, report_payload
+from .spec import SweepPoint, SweepSpec
+from .store import ExperimentStore
+
+#: Point outcomes.
+COMPUTED = "computed"
+SKIPPED = "skipped"
+FAILED = "failed"
+
+
+@dataclass
+class PointOutcome:
+    """One grid cell's result: payload (or error) plus provenance."""
+
+    point: SweepPoint
+    status: str
+    payload: Optional[dict] = None
+    error: Optional[str] = None
+    duration_s: float = 0.0
+
+    def report_row(self) -> Optional[dict]:
+        """Axes + flattened metrics, or ``None`` for failed points."""
+        if self.payload is None:
+            return None
+        row = self.point.axes()
+        row.update(point_metrics(self.payload))
+        row["skipped"] = self.status == SKIPPED
+        return row
+
+
+@dataclass
+class SweepResult:
+    """Everything one :func:`run_sweep` invocation produced."""
+
+    spec: SweepSpec
+    outcomes: List[PointOutcome] = field(default_factory=list)
+    store_root: Optional[str] = None
+    duration_s: float = 0.0
+
+    @property
+    def computed(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == COMPUTED)
+
+    @property
+    def skipped(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == SKIPPED)
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == FAILED)
+
+    @property
+    def complete(self) -> bool:
+        """True when every grid cell has a persisted payload."""
+        return self.failed == 0 and len(self.outcomes) == self.spec.size
+
+    def report_rows(self) -> List[dict]:
+        return [row for o in self.outcomes if (row := o.report_row()) is not None]
+
+    def report_text(self, by: Sequence[str] = ("design", "stimulus")) -> str:
+        return format_report(self.report_rows(), by=by, title=self.spec.name)
+
+    def report_json(self, by: Sequence[str] = ("design", "stimulus")) -> dict:
+        return report_payload(self.report_rows(), by=by, title=self.spec.name)
+
+    def to_dict(self) -> dict:
+        """Summary (no payload bodies — those live in the store)."""
+        return {
+            "spec": self.spec.to_dict(),
+            "spec_fingerprint": self.spec.fingerprint(),
+            "store": self.store_root,
+            "points": len(self.outcomes),
+            "grid_size": self.spec.size,
+            "computed": self.computed,
+            "skipped": self.skipped,
+            "failed": self.failed,
+            "complete": self.complete,
+            "duration_s": self.duration_s,
+            "failures": [
+                {"key": o.point.key, "axes": o.point.axes(), "error": o.error}
+                for o in self.outcomes
+                if o.status == FAILED
+            ],
+        }
+
+    def summary(self) -> str:
+        return (
+            f"sweep {self.spec.name!r}: {len(self.outcomes)}/{self.spec.size} "
+            f"point(s) — {self.computed} computed, {self.skipped} resumed "
+            f"from store, {self.failed} failed "
+            f"({self.duration_s:.1f}s)"
+        )
+
+
+def _dispatch_serve(client, point: SweepPoint) -> dict:
+    """Run one point through a live serve endpoint; raises on failure."""
+    job = client.submit_and_wait(
+        "optimize",
+        design=point.design_text,
+        run=point.run,
+        params=point.params,
+        stimulus=point.stimulus,
+        submit_retries=8,
+    )
+    if job.get("state") != "done":
+        error = job.get("error") or {}
+        raise SweepError(
+            f"serve job {job.get('id')} {job.get('state')}: "
+            f"{error.get('type', '?')}: {error.get('message', '')}"
+        )
+    return job["result"]
+
+
+def _dispatch_service(service, point: SweepPoint) -> dict:
+    """Run one point through an in-process JobService."""
+    job = service.submit(
+        "optimize",
+        design=point.design_text,
+        run=point.run,
+        params=point.params,
+        stimulus=point.stimulus,
+    )
+    job = service.wait(job.id, timeout=3600.0)
+    if job.state != "done":
+        error = job.error or {}
+        raise SweepError(
+            f"job {job.id} {job.state}: "
+            f"{error.get('type', '?')}: {error.get('message', '')}"
+        )
+    return job.result
+
+
+def run_sweep(
+    spec: Union[SweepSpec, dict],
+    store: Union[ExperimentStore, str, None] = None,
+    client=None,
+    service=None,
+    limit: Optional[int] = None,
+    progress: Optional[Callable[[PointOutcome], None]] = None,
+) -> SweepResult:
+    """Execute (or resume) a sweep; returns the full :class:`SweepResult`.
+
+    Parameters
+    ----------
+    spec:
+        A :class:`SweepSpec` or its dict form.
+    store:
+        An :class:`ExperimentStore`, a directory path for one, or
+        ``None`` for an ephemeral in-run-only sweep (no resume).
+    client:
+        A :class:`~repro.serve.client.ServeClient` (or base URL string)
+        dispatching points over HTTP.
+    service:
+        An in-process :class:`~repro.serve.jobs.JobService`. Mutually
+        exclusive with ``client``; with neither, points run inline.
+    limit:
+        Stop after this many *newly computed* points (resume-friendly
+        chunking; skipped points are free and never count).
+    progress:
+        Called with each :class:`PointOutcome` as it lands.
+    """
+    if isinstance(spec, dict):
+        spec = SweepSpec.from_dict(spec)
+    if client is not None and service is not None:
+        raise SweepError("pass at most one of client= and service=")
+    if isinstance(client, str):
+        from repro.serve.client import ServeClient
+
+        client = ServeClient(client)
+    if isinstance(store, str):
+        store = ExperimentStore(store)
+    if limit is not None and limit < 1:
+        raise SweepError(f"limit must be >= 1, got {limit}")
+    points = spec.expand()
+    if store is not None:
+        store.record_spec(spec)
+    result = SweepResult(
+        spec=spec, store_root=store.root if store is not None else None
+    )
+    started = time.monotonic()
+    with obs.span(
+        "sweep.run",
+        "sweep",
+        sweep=spec.name,
+        grid=spec.size,
+        spec=spec.fingerprint(),
+    ):
+        computed = 0
+        for point in points:
+            if limit is not None and computed >= limit:
+                break
+            outcome = _run_point(point, store, client, service)
+            if outcome.status == COMPUTED:
+                computed += 1
+            result.outcomes.append(outcome)
+            obs.counter("sweep.points", status=outcome.status).inc()
+            if progress is not None:
+                progress(outcome)
+    result.duration_s = time.monotonic() - started
+    return result
+
+
+def _run_point(
+    point: SweepPoint,
+    store: Optional[ExperimentStore],
+    client,
+    service,
+) -> PointOutcome:
+    started = time.monotonic()
+    if store is not None and store.has(point.key):
+        payload = store.get(point.key)
+        if payload is not None:
+            return PointOutcome(
+                point=point,
+                status=SKIPPED,
+                payload=payload,
+                duration_s=time.monotonic() - started,
+            )
+        # has() saw a blob but get() quarantined it: recompute below.
+    try:
+        with obs.span(
+            "sweep.point",
+            "sweep",
+            design=point.design_name,
+            stimulus=point.stimulus_name,
+            passes="+".join(point.passes),
+            key=point.key[:12],
+        ):
+            if client is not None:
+                payload = _dispatch_serve(client, point)
+            elif service is not None:
+                payload = _dispatch_service(service, point)
+            else:
+                payload = run_job_payload(point.wire_payload())
+    except ReproError as exc:
+        return PointOutcome(
+            point=point,
+            status=FAILED,
+            error=f"{type(exc).__name__}: {exc}",
+            duration_s=time.monotonic() - started,
+        )
+    if store is not None:
+        store.put(point.key, payload)
+    return PointOutcome(
+        point=point,
+        status=COMPUTED,
+        payload=payload,
+        duration_s=time.monotonic() - started,
+    )

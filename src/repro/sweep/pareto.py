@@ -1,0 +1,148 @@
+"""Pareto-front extraction and sweep reports.
+
+A sweep point's quality is three-objective: **power** (minimise),
+**area** (minimise) and **worst slack** (maximise — negative slack means
+a timing violation). A point *dominates* another when it is no worse on
+every objective and strictly better on at least one; the Pareto front is
+the set nobody dominates. Reports render the front (and optionally the
+dominated points) as text tables or JSON, grouped however the caller
+slices the axes — the shipped experiment groups by (design, stimulus) to
+show the paper's activity-dependence claim directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.errors import SweepError
+
+
+def point_metrics(payload: Mapping) -> dict:
+    """Flatten an ``optimize`` result payload into report metrics."""
+    try:
+        power = payload["power_mw"]
+        area = payload["area_um2"]
+        slack = payload["slack_ns"]
+        return {
+            "power_mw": float(power["after"]),
+            "power_before_mw": float(power["before"]),
+            "power_reduction": float(power["reduction"]),
+            "area_um2": float(area["after"]),
+            "area_increase": float(area["increase"]),
+            "slack_ns": float(slack["after"]),
+            "transforms": len(payload.get("applied") or []),
+        }
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SweepError(f"malformed sweep point payload: {exc}") from exc
+
+
+def dominates(a: Mapping, b: Mapping) -> bool:
+    """True when ``a`` Pareto-dominates ``b`` on (power, area, slack)."""
+    no_worse = (
+        a["power_mw"] <= b["power_mw"]
+        and a["area_um2"] <= b["area_um2"]
+        and a["slack_ns"] >= b["slack_ns"]
+    )
+    strictly_better = (
+        a["power_mw"] < b["power_mw"]
+        or a["area_um2"] < b["area_um2"]
+        or a["slack_ns"] > b["slack_ns"]
+    )
+    return no_worse and strictly_better
+
+
+def pareto_front(rows: Sequence[Mapping]) -> List[dict]:
+    """The non-dominated subset, power-ascending.
+
+    Each row needs ``power_mw`` / ``area_um2`` / ``slack_ns`` (as built
+    by :func:`point_metrics`); everything else rides along untouched.
+    """
+    front = [
+        dict(row)
+        for row in rows
+        if not any(dominates(other, row) for other in rows if other is not row)
+    ]
+    front.sort(key=lambda r: (r["power_mw"], r["area_um2"], -r["slack_ns"]))
+    return front
+
+
+def group_rows(
+    rows: Sequence[Mapping], by: Sequence[str] = ("design", "stimulus")
+) -> "Dict[tuple, List[dict]]":
+    """Partition report rows by the named axis fields, insertion-ordered."""
+    grouped: Dict[tuple, List[dict]] = {}
+    for row in rows:
+        key = tuple(row.get(field, "?") for field in by)
+        grouped.setdefault(key, []).append(dict(row))
+    return grouped
+
+
+def format_report(
+    rows: Sequence[Mapping],
+    by: Sequence[str] = ("design", "stimulus"),
+    title: str = "sweep",
+    show_dominated: bool = True,
+) -> str:
+    """Text report: one Pareto table per axis group.
+
+    Within each group, non-dominated rows are marked ``*``; dominated
+    rows are listed after them (suppress with ``show_dominated=False``).
+    """
+    lines = [f"Pareto report — {title} ({len(rows)} point(s))"]
+    if not rows:
+        lines.append("  (no completed points)")
+        return "\n".join(lines)
+    for key, group in group_rows(rows, by=by).items():
+        front = pareto_front(group)
+        front_ids = {id(None)}  # sentinel; membership by value below
+        front_set = [tuple(sorted(r.items())) for r in front]
+        label = ", ".join(f"{f}={v}" for f, v in zip(by, key))
+        lines.append("")
+        lines.append(f"[{label}] — {len(front)}/{len(group)} on the front")
+        header = (
+            f"  {'':1} {'passes':<24} {'style':<6} {'h_min':>6} "
+            f"{'power mW':>9} {'Δpower':>8} {'area um2':>9} {'slack ns':>9}"
+        )
+        lines.append(header)
+        ordered = front + [
+            row
+            for row in sorted(
+                group, key=lambda r: (r["power_mw"], r["area_um2"])
+            )
+            if tuple(sorted(row.items())) not in front_set
+        ]
+        if not show_dominated:
+            ordered = front
+        for row in ordered:
+            on_front = tuple(sorted(row.items())) in front_set
+            lines.append(
+                f"  {'*' if on_front else ' '} "
+                f"{str(row.get('passes', '?')):<24} "
+                f"{str(row.get('style', '?')):<6} "
+                f"{float(row.get('h_min', 0.0)):>6.3f} "
+                f"{row['power_mw']:>9.4f} "
+                f"{row['power_reduction']:>7.1%} "
+                f"{row['area_um2']:>9.0f} "
+                f"{row['slack_ns']:>9.3f}"
+            )
+    return "\n".join(lines)
+
+
+def report_payload(
+    rows: Sequence[Mapping],
+    by: Sequence[str] = ("design", "stimulus"),
+    title: str = "sweep",
+) -> dict:
+    """JSON report: groups, fronts and dominated counts."""
+    groups = []
+    for key, group in group_rows(rows, by=by).items():
+        front = pareto_front(group)
+        groups.append(
+            {
+                "group": {field: value for field, value in zip(by, key)},
+                "points": len(group),
+                "front": front,
+                "dominated": len(group) - len(front),
+            }
+        )
+    return {"title": title, "points": len(rows), "by": list(by), "groups": groups}

@@ -1,0 +1,165 @@
+"""``repro sweep``: inline runs, spec files, reports, and crash-resume.
+
+The kill test is the CLI-level proof of the sweep contract: SIGKILL the
+process mid-grid, re-invoke the identical command, and the second run
+resumes from the experiment store — completed points are skipped, never
+recomputed, and the sweep still converges to a complete grid.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.cli import main
+from repro.designs import paper_example
+from repro.netlist import textio
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+BASE = ["sweep", "--design", "fig1", "--stimuli", "default,idle",
+        "--pass-lists", "isolation", "--cycles", "120", "--name", "clitest"]
+
+
+def run_json(argv, capsys):
+    code = main(argv + ["--json"])
+    return code, json.loads(capsys.readouterr().out)
+
+
+class TestSweepCommand:
+    def test_inline_run_emits_one_json_document(self, tmp_path, capsys):
+        code, payload = run_json(
+            BASE + ["--store", str(tmp_path / "store")], capsys
+        )
+        assert code == 0
+        assert payload["computed"] == 2 and payload["complete"]
+        assert payload["report"]["points"] == 2
+        assert os.path.isdir(tmp_path / "store" / "points")
+
+    def test_rerun_resumes_from_store(self, tmp_path, capsys):
+        store = ["--store", str(tmp_path / "store")]
+        assert run_json(BASE + store, capsys)[0] == 0
+        code, payload = run_json(BASE + store, capsys)
+        assert code == 0
+        assert payload["computed"] == 0 and payload["skipped"] == 2
+
+    def test_text_output_has_pareto_table(self, tmp_path, capsys):
+        assert main(BASE + ["--store", str(tmp_path / "s")]) == 0
+        out = capsys.readouterr().out
+        assert "Pareto report" in out and "resumed from store" in out
+
+    def test_report_files_written(self, tmp_path, capsys):
+        report = tmp_path / "report.txt"
+        report_json = tmp_path / "report.json"
+        code = main(
+            BASE
+            + ["--store", str(tmp_path / "s"), "--report", str(report),
+               "--report-json", str(report_json)]
+        )
+        assert code == 0
+        assert "Pareto report" in report.read_text()
+        assert json.loads(report_json.read_text())["points"] == 2
+
+    def test_spec_file_form(self, tmp_path, capsys):
+        netlist = tmp_path / "fig1.rtl"
+        netlist.write_text(textio.dumps(paper_example()))
+        spec = {
+            "name": "specfile",
+            "designs": [str(netlist)],
+            "stimuli": [None, "bursty"],
+            "pass_lists": [["isolation"]],
+            "run": {"cycles": 100},
+        }
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(spec))
+        code, payload = run_json(
+            ["sweep", str(spec_path), "--store", str(tmp_path / "s")], capsys
+        )
+        assert code == 0
+        assert payload["spec"]["name"] == "specfile"
+        assert payload["computed"] == 2
+
+    def test_limit_then_resume(self, tmp_path, capsys):
+        store = ["--store", str(tmp_path / "store")]
+        code, first = run_json(BASE + store + ["--limit", "1"], capsys)
+        assert code == 0 and first["computed"] == 1 and not first["complete"]
+        code, second = run_json(BASE + store, capsys)
+        assert second["skipped"] == 1 and second["complete"]
+
+    def test_spec_file_and_axis_flags_conflict(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({"designs": ["fig1"]}))
+        assert main(["sweep", str(spec_path), "--design", "fig1"]) == 2
+
+    def test_no_design_is_an_error(self):
+        assert main(["sweep"]) == 2
+
+    def test_unknown_profile_is_an_error(self):
+        assert main(BASE[:-2] + ["--stimuli", "nope"]) == 2
+
+
+class TestKillResume:
+    def test_sigkill_mid_sweep_then_resume_skips_done_points(
+        self, tmp_path, capsys
+    ):
+        """The acceptance scenario: kill -9 mid-run, re-invoke, resume."""
+        store = str(tmp_path / "store")
+        argv = [
+            sys.executable, "-m", "repro", "sweep",
+            "--design", "fig1", "--stimuli", "default,idle,bursty",
+            "--pass-lists", "isolation,rewrite+isolation",
+            "--cycles", "1200", "--store", store, "--name", "killtest",
+        ]
+        env = dict(os.environ, PYTHONPATH="src")
+        proc = subprocess.Popen(
+            argv, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            env=env, cwd=REPO_ROOT, text=True,
+        )
+        try:
+            header = proc.stdout.readline()
+            assert "6 point(s)" in header
+            # Wait for the first persisted point, then kill without grace.
+            first = proc.stdout.readline()
+            assert "[1/6]" in first and "computed" in first
+            proc.kill()  # SIGKILL: no cleanup, no atexit, mid-grid
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:  # pragma: no cover - cleanup guard
+                proc.kill()
+                proc.wait(timeout=30)
+        persisted = len(
+            [
+                name
+                for shard in os.listdir(os.path.join(store, "points"))
+                for name in os.listdir(os.path.join(store, "points", shard))
+            ]
+        )
+        assert 1 <= persisted < 6
+        # Same command, in-process this time: resumes, never recomputes.
+        code = main(
+            ["sweep", "--design", "fig1", "--stimuli", "default,idle,bursty",
+             "--pass-lists", "isolation,rewrite+isolation",
+             "--cycles", "1200", "--store", store, "--name", "killtest",
+             "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["skipped"] == persisted  # nothing recomputed
+        assert payload["computed"] == 6 - persisted
+        assert payload["complete"]
+        from repro.sweep import ExperimentStore, SweepSpec
+
+        spec = SweepSpec.from_dict(
+            {
+                "name": "killtest",
+                "designs": ["fig1"],
+                "stimuli": [None, "idle", "bursty"],
+                "pass_lists": ["isolation", "rewrite+isolation"],
+                "run": {"cycles": 1200, "seed": 0, "engine": "python"},
+            }
+        )
+        final = ExperimentStore(store)
+        assert len(final) == 6
+        assert sorted(final.keys()) == sorted(p.key for p in spec.expand())

@@ -1,0 +1,174 @@
+"""Stimulus specs in the serve layer: cache identity, plumbing, recovery.
+
+The regression anchored here: before stimulus specs joined
+:func:`job_cache_key`, two jobs replaying *different* activity on the
+same design collided on one cache entry — an idle-workload result could
+answer a bursty-workload query. The key now folds in the stimulus
+fingerprint, while every key minted before stimulus specs existed is
+unchanged (the field is omitted entirely for the default stimulus).
+"""
+
+import pytest
+
+from repro.designs import design1
+from repro.errors import StimulusError
+from repro.serve import DONE, JobService
+from repro.serve.cache import job_cache_key
+from repro.serve.supervisor import run_job_payload
+
+RUN = {"cycles": 150, "engine": "compiled", "workers": 1}
+
+
+def make_service(**kwargs) -> JobService:
+    kwargs.setdefault("queue_size", 8)
+    kwargs.setdefault("job_workers", 1)
+    kwargs.setdefault("cache_capacity", 32)
+    kwargs.setdefault("fsync", False)
+    return JobService(**kwargs)
+
+
+class TestCacheKey:
+    def test_default_stimulus_preserves_legacy_keys(self):
+        # The 4-argument spelling (pre-stimulus) and an explicit
+        # "default" must mint the same key: nothing in any existing
+        # store or journal is invalidated by the new ingredient.
+        legacy = job_cache_key("estimate", "fp", "run", {})
+        assert legacy == job_cache_key("estimate", "fp", "run", {}, "default")
+
+    def test_distinct_stimuli_distinct_keys(self):
+        base = job_cache_key("estimate", "fp", "run", {}, "default")
+        idle = job_cache_key("estimate", "fp", "run", {}, "aaaa")
+        bursty = job_cache_key("estimate", "fp", "run", {}, "bbbb")
+        assert len({base, idle, bursty}) == 3
+
+    def test_collision_regression_distinct_results_per_workload(self):
+        """Jobs differing only in stimulus never share a cache entry."""
+        service = make_service()
+        try:
+            jobs = {}
+            for stim in (None, {"profile": "idle"}, {"profile": "bursty"}):
+                label = stim["profile"] if stim else "default"
+                job = service.submit(
+                    "estimate", builtin="design1", run=RUN, stimulus=stim
+                )
+                jobs[label] = service.wait(job.id, timeout=120)
+            keys = {job.cache_key for job in jobs.values()}
+            assert len(keys) == 3
+            assert not any(job.cached for job in jobs.values())
+            powers = {
+                label: job.result["total_power_mw"]
+                for label, job in jobs.items()
+            }
+            assert powers["idle"] < powers["bursty"] < powers["default"]
+        finally:
+            service.shutdown()
+
+    def test_same_stimulus_is_served_from_cache(self):
+        service = make_service()
+        try:
+            spec = {"profile": "idle"}
+            first = service.wait(
+                service.submit(
+                    "estimate", builtin="design1", run=RUN, stimulus=spec
+                ).id,
+                timeout=120,
+            )
+            again = service.submit(
+                "estimate", builtin="design1", run=RUN, stimulus="idle"
+            )
+            assert again.cached and again.state == DONE
+            assert again.result == first.result
+        finally:
+            service.shutdown()
+
+
+class TestPlumbing:
+    def test_invalid_stimulus_rejected_at_submit(self):
+        service = make_service()
+        try:
+            with pytest.raises(StimulusError):
+                service.submit(
+                    "estimate", builtin="design1", run=RUN, stimulus="nope"
+                )
+        finally:
+            service.shutdown()
+
+    def test_wire_payload_round_trips_through_worker_entry(self):
+        service = make_service()
+        try:
+            job = service.submit(
+                "estimate",
+                builtin="design1",
+                run=RUN,
+                stimulus={"profile": "idle"},
+            )
+            done = service.wait(job.id, timeout=120)
+            payload = done.wire_payload()
+            assert payload["stimulus"] == {"profile": "idle"}
+            # The supervised-worker entry point computes the same result.
+            assert run_job_payload(payload) == done.result
+        finally:
+            service.shutdown()
+
+    def test_default_stimulus_payload_shape_unchanged(self):
+        service = make_service()
+        try:
+            job = service.submit("estimate", builtin="design1", run=RUN)
+            assert "stimulus" not in job.wire_payload()
+        finally:
+            service.shutdown()
+
+    def test_optimize_weight_params_accepted(self):
+        service = make_service()
+        try:
+            job = service.submit(
+                "optimize",
+                builtin="design1",
+                run=RUN,
+                params={"h_min": 0.05, "omega_p": 1.0, "omega_a": 0.5},
+            )
+            done = service.wait(job.id, timeout=120)
+            assert done.state == DONE
+            assert done.result["power_mw"]["after"] > 0
+        finally:
+            service.shutdown()
+
+    def test_negative_weight_rejected(self):
+        from repro.errors import ServeError
+
+        service = make_service()
+        try:
+            with pytest.raises(ServeError):
+                service.submit(
+                    "optimize", builtin="design1", run=RUN, params={"h_min": -1}
+                )
+        finally:
+            service.shutdown()
+
+
+class TestDurability:
+    def test_stimulus_survives_journal_recovery(self, tmp_path):
+        state = str(tmp_path / "state")
+        service = make_service(state_dir=state)
+        try:
+            job = service.submit(
+                "estimate",
+                builtin="design1",
+                run=RUN,
+                stimulus={"profile": "idle"},
+            )
+            done = service.wait(job.id, timeout=120)
+            key, result = done.cache_key, done.result
+        finally:
+            service.shutdown()
+        revived = make_service(state_dir=state)
+        try:
+            recovered = revived.get(job.id)
+            assert recovered.stimulus == {"profile": "idle"}
+            assert recovered.cache_key == key
+            again = revived.submit(
+                "estimate", builtin="design1", run=RUN, stimulus="idle"
+            )
+            assert again.cached and again.result == result
+        finally:
+            revived.shutdown()

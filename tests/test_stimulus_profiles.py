@@ -1,0 +1,232 @@
+"""Workload profiles, stimulus specs and strict trace-replay semantics."""
+
+import random
+
+import pytest
+
+from repro.designs import design1
+from repro.errors import StimulusError
+from repro.sim.stimulus import (
+    BurstyDataStream,
+    CorrelatedDataStream,
+    STIMULUS_PROFILES,
+    SequenceStimulus,
+    make_profile,
+    normalize_stimulus_spec,
+    profile_names,
+    register_profile,
+    resolve_stimulus_spec,
+    stimulus_fingerprint,
+)
+
+
+def stream_values(stream, cycles=4000, seed=1):
+    rng = random.Random(seed)
+    return [stream.next_value(rng) for _ in range(cycles)]
+
+
+class TestBurstyDataStream:
+    def test_idle_phases_hold_value(self):
+        values = stream_values(BurstyDataStream(8, burst_len=4.0, idle_len=16.0))
+        holds = sum(1 for a, b in zip(values, values[1:]) if a == b)
+        # Mostly idle: the value should hold far more often than it moves.
+        assert holds / len(values) > 0.6
+
+    def test_burstier_means_more_toggling(self):
+        quiet = stream_values(BurstyDataStream(8, burst_len=2.0, idle_len=32.0))
+        busy = stream_values(BurstyDataStream(8, burst_len=32.0, idle_len=2.0))
+
+        def toggle_rate(vals):
+            return sum(1 for a, b in zip(vals, vals[1:]) if a != b) / len(vals)
+
+        assert toggle_rate(busy) > 2 * toggle_rate(quiet)
+
+    def test_values_respect_width(self):
+        assert all(0 <= v < 16 for v in stream_values(BurstyDataStream(4)))
+
+    def test_bad_lengths_rejected(self):
+        with pytest.raises(StimulusError):
+            BurstyDataStream(8, burst_len=0.0)
+        with pytest.raises(StimulusError):
+            BurstyDataStream(8, idle_len=-1.0)
+
+
+class TestCorrelatedDataStream:
+    def test_small_steps(self):
+        values = stream_values(CorrelatedDataStream(8, max_step=3))
+        deltas = [abs(b - a) for a, b in zip(values, values[1:])]
+        # Steps are bounded except at the wrap-around of the 8-bit range.
+        assert all(d <= 3 or d >= 253 for d in deltas)
+
+    def test_hold_probability(self):
+        values = stream_values(
+            CorrelatedDataStream(8, hold_probability=0.9), cycles=2000
+        )
+        holds = sum(1 for a, b in zip(values, values[1:]) if a == b)
+        assert holds / len(values) > 0.8
+
+    def test_values_respect_width(self):
+        assert all(0 <= v < 32 for v in stream_values(CorrelatedDataStream(5)))
+
+
+class TestProfileRegistry:
+    def test_shipped_profiles_registered(self):
+        assert {"random", "bursty", "idle", "correlated"} <= set(profile_names())
+
+    def test_profiles_drive_every_primary_input(self):
+        design = design1()
+        for name in profile_names():
+            stim = make_profile(name, design, seed=1)
+            vector = stim.values(0)
+            assert set(vector) == {pi.name for pi in design.primary_inputs}
+
+    def test_unknown_profile_lists_choices(self):
+        with pytest.raises(StimulusError, match="bursty"):
+            make_profile("nope", design1())
+
+    def test_bad_profile_params_rejected(self):
+        with pytest.raises(StimulusError):
+            make_profile("bursty", design1(), no_such_param=1)
+
+    def test_register_rejects_duplicates(self):
+        with pytest.raises(StimulusError):
+
+            @register_profile("bursty")
+            def clash(design, seed=0):  # pragma: no cover - never called
+                raise AssertionError
+
+    def test_registry_is_name_to_factory(self):
+        assert callable(STIMULUS_PROFILES["idle"])
+
+    def test_profiles_differ_materially(self):
+        # The point of workload profiles: different activity statistics.
+        from repro.power import estimate_power
+        from repro.runconfig import RunConfig
+
+        design = design1()
+        run = RunConfig(cycles=300)
+        powers = {
+            name: estimate_power(
+                design, make_profile(name, design, seed=0), run=run
+            ).total_power_mw
+            for name in ("random", "idle", "bursty")
+        }
+        assert powers["idle"] < powers["bursty"] < powers["random"] * 1.5
+        assert powers["idle"] < 0.7 * powers["random"]
+
+
+class TestStrictSequence:
+    def test_strict_names_the_cycle(self):
+        stim = SequenceStimulus([{"A": 1}] * 3, strict=True)
+        stim.values(2)
+        with pytest.raises(StimulusError, match=r"ends at cycle 2.*cycle 7"):
+            stim.values(7)
+
+    def test_strict_and_wrap_are_exclusive(self):
+        with pytest.raises(StimulusError):
+            SequenceStimulus([{"A": 1}], wrap=True, strict=True)
+
+    def test_warn_fires_once_then_holds(self):
+        stim = SequenceStimulus([{"A": 1}, {"A": 2}], warn=True)
+        with pytest.warns(RuntimeWarning):
+            assert stim.values(5) == {"A": 2}
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert stim.values(6) == {"A": 2}  # no second warning
+
+    def test_csv_default_warns_past_end(self):
+        stim = SequenceStimulus.from_csv("A\n1\n2\n")
+        with pytest.warns(RuntimeWarning, match="CSV trace"):
+            stim.values(2)
+
+    def test_csv_strict(self):
+        stim = SequenceStimulus.from_csv("A\n1\n2\n", strict=True)
+        with pytest.raises(StimulusError, match="CSV trace"):
+            stim.values(2)
+
+
+class TestSpecNormalization:
+    def test_none_and_name_forms(self):
+        assert normalize_stimulus_spec(None) is None
+        assert normalize_stimulus_spec("idle") == {"profile": "idle"}
+
+    def test_profile_params_kept_canonical(self):
+        spec = normalize_stimulus_spec(
+            {"profile": "bursty", "params": {"burst_len": 4.0}}
+        )
+        assert spec == {"profile": "bursty", "params": {"burst_len": 4.0}}
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(StimulusError):
+            normalize_stimulus_spec("nope")
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(StimulusError):
+            normalize_stimulus_spec({"profile": "idle", "extra": 1})
+
+    def test_exactly_one_source(self):
+        with pytest.raises(StimulusError):
+            normalize_stimulus_spec({"profile": "idle", "csv": "A\n1\n"})
+        with pytest.raises(StimulusError):
+            normalize_stimulus_spec({})
+
+    def test_wrap_and_strict_flags(self):
+        spec = normalize_stimulus_spec({"csv": "A\n1\n", "strict": True})
+        assert spec == {"csv": "A\n1\n", "strict": True}
+        # Falsy flags are dropped from the canonical form entirely.
+        assert normalize_stimulus_spec({"csv": "A\n1\n", "wrap": False}) == {
+            "csv": "A\n1\n"
+        }
+
+
+class TestFingerprints:
+    def test_default_is_literal(self):
+        assert stimulus_fingerprint(None) == "default"
+
+    def test_distinct_specs_distinct_fingerprints(self):
+        specs = [
+            normalize_stimulus_spec("idle"),
+            normalize_stimulus_spec("bursty"),
+            normalize_stimulus_spec({"profile": "bursty", "params": {"burst_len": 2}}),
+            normalize_stimulus_spec({"csv": "A\n1\n"}),
+            normalize_stimulus_spec({"csv": "A\n2\n"}),
+        ]
+        prints = [stimulus_fingerprint(s) for s in specs]
+        assert len(set(prints)) == len(prints)
+        assert all(len(p) == 32 for p in prints)
+
+    def test_fingerprint_is_stable(self):
+        spec = normalize_stimulus_spec({"profile": "idle", "params": {"duty": 0.2}})
+        assert stimulus_fingerprint(spec) == stimulus_fingerprint(dict(spec))
+
+
+class TestResolve:
+    def test_resolve_default(self):
+        stim = resolve_stimulus_spec(None, design1(), seed=2)
+        assert callable(getattr(stim, "values", None))
+
+    def test_resolve_profile_uses_seed(self):
+        a = resolve_stimulus_spec({"profile": "bursty"}, design1(), seed=1)
+        b = resolve_stimulus_spec({"profile": "bursty"}, design1(), seed=1)
+        assert a.values(0) == b.values(0)
+
+    def test_resolve_csv(self):
+        design = design1()
+        header = ",".join(pi.name for pi in design.primary_inputs)
+        row = ",".join("1" for _ in design.primary_inputs)
+        stim = resolve_stimulus_spec({"csv": f"{header}\n{row}\n"}, design)
+        assert set(stim.values(0).values()) == {1}
+
+    def test_resolve_vcd(self, tiny_design):
+        from repro.sim.engine import simulate
+        from repro.sim.stimulus import random_stimulus
+        from repro.sim.vcd import VcdMonitor
+
+        monitor = VcdMonitor()
+        simulate(
+            tiny_design, random_stimulus(tiny_design, seed=1), 8, monitors=[monitor]
+        )
+        stim = resolve_stimulus_spec({"vcd": monitor.dumps()}, tiny_design)
+        assert set(stim.values(0)) == {pi.name for pi in tiny_design.primary_inputs}
